@@ -1,0 +1,96 @@
+/**
+ * @file
+ * §4.1 ablation: per-core arbiter (O(n) coordination messages per
+ * flushed epoch) vs the all-to-all bank broadcast strawman (O(n^2)).
+ *
+ * The timing path is identical in both designs; the strawman's cost is
+ * the extra mesh traffic, which this bench quantifies.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using persist::BarrierKind;
+using workload::MicroKind;
+
+namespace
+{
+
+void
+cell(benchmark::State &state, MicroKind kind, bool useArbiter)
+{
+    const std::uint64_t ops = envOps(200);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row = runBepMicro(
+            kind, BarrierKind::LBPP, ops, cores, envSeed(),
+            [useArbiter](model::SystemConfig &cfg) {
+                cfg.barrier.useArbiter = useArbiter;
+            });
+        rows().back().config = useArbiter ? "arbiter" : "allToAll";
+        exportCounters(state, row);
+        state.counters["meshPackets"] =
+            row.stats.count("mesh.packets")
+                ? row.stats.at("mesh.packets")
+                : 0;
+    }
+}
+
+void
+registerAll()
+{
+    for (MicroKind kind : {MicroKind::Hash, MicroKind::Queue}) {
+        for (bool arb : {true, false}) {
+            std::string name = std::string("ablArbiter/") +
+                               workload::toString(kind) + "/" +
+                               (arb ? "arbiter" : "allToAll");
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [kind, arb](benchmark::State &st) {
+                    cell(st, kind, arb);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+double
+statOf(const Row *row, const char *key)
+{
+    if (!row)
+        return 0.0;
+    auto it = row->stats.find(key);
+    return it == row->stats.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\n=== Arbiter ablation (§4.1): mesh packets per "
+                "flushed epoch ===\n");
+    std::printf("%-8s %14s %14s %10s\n", "workload", "arbiter",
+                "all-to-all", "ratio");
+    for (const char *w : {"hash", "queue"}) {
+        const Row *arb = findRow(w, "arbiter");
+        const Row *ata = findRow(w, "allToAll");
+        const double epochsArb =
+            statOf(arb, "persist.arbiter0.epochsPersisted") * 32.0;
+        (void)epochsArb;
+        const double pArb = statOf(arb, "mesh.packets");
+        const double pAta = statOf(ata, "mesh.packets");
+        std::printf("%-8s %14.0f %14.0f %9.2fx\n", w, pArb, pAta,
+                    pArb > 0 ? pAta / pArb : 0.0);
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §4.3 ablation: size of the per-core in-flight epoch window (the
+ * paper provisions 8, i.e. a 3-bit EpochID). Too few slots stall
+ * barriers on window pressure; extra slots stop paying off once the
+ * flush pipeline, not the window, is the limit.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using persist::BarrierKind;
+using workload::MicroKind;
+
+namespace
+{
+
+const std::vector<unsigned> kWindows = {2, 4, 8, 16};
+
+void
+cell(benchmark::State &state, unsigned window)
+{
+    const std::uint64_t ops = envOps(300);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row = runBepMicro(
+            MicroKind::Hash, BarrierKind::LBPP, ops, cores, envSeed(),
+            [window](model::SystemConfig &cfg) {
+                cfg.barrier.maxInflightEpochs = window;
+            });
+        rows().back().config = "w" + std::to_string(window);
+        exportCounters(state, row);
+        state.counters["barrierStalls"] = sumPerCore(
+            row.stats, "persist.arbiter", ".barrierStalls", cores);
+    }
+}
+
+void
+registerAll()
+{
+    for (unsigned w : kWindows) {
+        std::string name =
+            std::string("ablEpochWindow/hash/") + std::to_string(w);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [w](benchmark::State &st) { cell(st, w); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const unsigned cores = envCores();
+    std::printf("\n=== Epoch-window sensitivity (hash, BEP, LB++; "
+                "paper provisions 8) ===\n");
+    std::printf("%8s %14s %14s %14s\n", "window", "txn/Mcycle",
+                "stalls", "exec Mcycles");
+    for (unsigned w : kWindows) {
+        const Row *row = findRow("hash", "w" + std::to_string(w));
+        if (!row)
+            continue;
+        const double stalls = sumPerCore(row->stats, "persist.arbiter",
+                                         ".barrierStalls", cores);
+        std::printf("%8u %14.1f %14.0f %14.3f\n", w,
+                    row->result.throughput(), stalls,
+                    row->result.execTicks / 1e6);
+    }
+    return 0;
+}

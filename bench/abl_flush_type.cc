@@ -1,0 +1,89 @@
+/**
+ * @file
+ * §7 ablation: invalidating (clflush-like) vs non-invalidating
+ * (clwb-like) cache-line flushes, under LB++ on the micro-benchmarks.
+ *
+ * Paper result: the non-invalidating flush is ~30% faster, because an
+ * invalidating flush evicts the working set and forces refetches from
+ * NVRAM.
+ */
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using persist::BarrierKind;
+using workload::MicroKind;
+
+namespace
+{
+
+void
+cell(benchmark::State &state, MicroKind kind, bool invalidating)
+{
+    const std::uint64_t ops = envOps(300);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        // Distinguish rows by config label through a tweak.
+        model::SystemConfig *captured = nullptr;
+        const Row &row = runBepMicro(
+            kind, BarrierKind::LBPP, ops, cores, envSeed(),
+            [&](model::SystemConfig &cfg) {
+                cfg.barrier.invalidatingFlush = invalidating;
+                captured = &cfg;
+            });
+        (void)captured;
+        exportCounters(state, row);
+        // Relabel the stored row (runBepMicro labels by barrier kind).
+        rows().back().config = invalidating ? "clflush" : "clwb";
+    }
+}
+
+void
+registerAll()
+{
+    for (MicroKind kind : workload::allMicroKinds()) {
+        for (bool invalidating : {false, true}) {
+            std::string name = std::string("ablFlushType/") +
+                               workload::toString(kind) + "/" +
+                               (invalidating ? "clflush" : "clwb");
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [kind, invalidating](benchmark::State &st) {
+                    cell(st, kind, invalidating);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::vector<std::string> workloads;
+    for (auto kind : workload::allMicroKinds())
+        workloads.push_back(workload::toString(kind));
+
+    printTable(
+        "Flush-type ablation: throughput of clwb-style flush "
+        "normalized to clflush-style (paper: ~1.3x)",
+        workloads, {"clflush", "clwb"},
+        [](const std::string &w, const std::string &c) {
+            const Row *row = findRow(w, c);
+            const Row *base = findRow(w, "clflush");
+            if (!row || !base || base->result.throughput() == 0)
+                return 0.0;
+            return row->result.throughput() /
+                   base->result.throughput();
+        },
+        "gmean", /*useGmean=*/true);
+    return 0;
+}

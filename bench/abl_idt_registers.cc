@@ -1,0 +1,86 @@
+/**
+ * @file
+ * §4.3 ablation: sensitivity to the number of IDT register pairs per
+ * epoch (the paper provisions 4). Too few registers overflow and fall
+ * back to online flushes; extra registers buy nothing once overflows
+ * vanish.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using model::PersistencyModel;
+using persist::BarrierKind;
+
+namespace
+{
+
+const std::vector<unsigned> kRegCounts = {1, 2, 4, 8, 16};
+
+void
+cell(benchmark::State &state, unsigned regs)
+{
+    const std::uint64_t ops = envOps(15000);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row = runBspCell(
+            "ssca2", PersistencyModel::BufferedStrict, BarrierKind::LBPP,
+            /*epochSize=*/1000, /*logging=*/true,
+            "regs" + std::to_string(regs), ops, cores, envSeed(),
+            [regs](model::SystemConfig &cfg) {
+                cfg.barrier.idtRegsPerEpoch = regs;
+            });
+        exportCounters(state, row);
+        state.counters["idtOverflows"] = sumPerCore(
+            row.stats, "persist.arbiter", ".idtOverflows", cores);
+    }
+}
+
+void
+registerAll()
+{
+    for (unsigned regs : kRegCounts) {
+        std::string name =
+            std::string("ablIdtRegs/ssca2/") + std::to_string(regs);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [regs](benchmark::State &st) {
+                                         cell(st, regs);
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const unsigned cores = envCores();
+    std::printf("\n=== IDT register sensitivity (ssca2, BSP @1K, LB++) "
+                "===\n");
+    std::printf("%6s %14s %14s %16s\n", "regs", "exec Mcycles",
+                "overflows", "idtResolutions");
+    for (unsigned regs : kRegCounts) {
+        const Row *row =
+            findRow("ssca2", "regs" + std::to_string(regs));
+        if (!row)
+            continue;
+        const double ov = sumPerCore(row->stats, "persist.arbiter",
+                                     ".idtOverflows", cores);
+        const double idt = row->stats.count("persist.idtResolutions")
+                               ? row->stats.at("persist.idtResolutions")
+                               : 0;
+        std::printf("%6u %14.3f %14.0f %16.0f\n", regs,
+                    row->result.execTicks / 1e6, ov, idt);
+    }
+    return 0;
+}

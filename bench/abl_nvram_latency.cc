@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sensitivity: NVRAM write latency vs LB++'s advantage over LB.
+ *
+ * The paper's Table 1 fixes the write latency at 360 cycles. This
+ * ablation sweeps it: with a very fast device, flushes barely cost
+ * anything and the barrier choice stops mattering; the slower the
+ * device, the more LB's online flushes hurt and the more LB++ buys —
+ * the qualitative argument behind the paper's motivation (§1).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using persist::BarrierKind;
+using workload::MicroKind;
+
+namespace
+{
+
+const std::vector<Tick> kLatencies = {90, 180, 360, 720, 1440};
+
+void
+cell(benchmark::State &state, Tick latency, BarrierKind barrier)
+{
+    const std::uint64_t ops = envOps(200);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row = runBepMicro(
+            MicroKind::Hash, barrier, ops, cores, envSeed(),
+            [latency](model::SystemConfig &cfg) {
+                cfg.nvram.writeLatency = latency;
+            });
+        rows().back().config = std::string(persist::toString(barrier)) +
+                               "@" + std::to_string(latency);
+        exportCounters(state, row);
+    }
+}
+
+void
+registerAll()
+{
+    for (Tick lat : kLatencies) {
+        for (BarrierKind b : {BarrierKind::LB, BarrierKind::LBPP}) {
+            std::string name = std::string("ablNvram/hash/") +
+                               persist::toString(b) + "/" +
+                               std::to_string(lat);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [lat, b](benchmark::State &st) { cell(st, lat, b); })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\n=== NVRAM write-latency sensitivity (hash, BEP): "
+                "LB++ speedup over LB ===\n");
+    std::printf("%12s %14s %14s %10s\n", "writeLat(cy)", "LB txn/Mcy",
+                "LB++ txn/Mcy", "speedup");
+    for (Tick lat : kLatencies) {
+        const Row *lb =
+            findRow("hash", "LB@" + std::to_string(lat));
+        const Row *pp =
+            findRow("hash", "LB++@" + std::to_string(lat));
+        if (!lb || !pp || lb->result.throughput() == 0)
+            continue;
+        std::printf("%12llu %14.1f %14.1f %9.3fx\n",
+                    static_cast<unsigned long long>(lat),
+                    lb->result.throughput(), pp->result.throughput(),
+                    pp->result.throughput() / lb->result.throughput());
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 1 flavor: relative cost of the persistency models on the same
+ * workload — SP (write-through), EP (blocking barriers), BEP (buffered,
+ * LB barrier), and the NP baseline.
+ *
+ * Expected shape (Figure 1 and §7.2): SP >> EP > BEP > NP.
+ */
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using model::PersistencyModel;
+using persist::BarrierKind;
+using workload::MicroKind;
+
+namespace
+{
+
+struct Config
+{
+    const char *label;
+    PersistencyModel pm;
+    BarrierKind barrier;
+};
+
+const std::vector<Config> kConfigs = {
+    {"NP", PersistencyModel::NoPersistency, BarrierKind::None},
+    {"BEP++", PersistencyModel::BufferedEpoch, BarrierKind::LBPP},
+    {"BEP", PersistencyModel::BufferedEpoch, BarrierKind::LB},
+    {"EP", PersistencyModel::Epoch, BarrierKind::LB},
+    {"SP", PersistencyModel::Strict, BarrierKind::None},
+};
+
+void
+cell(benchmark::State &state, MicroKind kind, const Config &cfg)
+{
+    const std::uint64_t ops = envOps(150);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        model::SystemConfig sysCfg = benchConfig(cores);
+        applyPersistencyModel(sysCfg, cfg.pm, cfg.barrier);
+        sysCfg.seed = envSeed();
+        model::System sys(sysCfg);
+        workload::MicroConfig mc;
+        mc.kind = kind;
+        mc.numThreads = cores;
+        mc.opsPerThread = ops;
+        mc.seed = envSeed();
+        auto workloads = workload::makeMicroWorkloads(mc);
+        for (unsigned t = 0; t < cores; ++t) {
+            sys.setWorkload(static_cast<CoreId>(t),
+                            std::move(workloads[t]));
+        }
+        model::SimResult res = sys.run();
+        rows().push_back(Row{workload::toString(kind), cfg.label,
+                             std::move(res), sys.stats()});
+        exportCounters(state, rows().back());
+    }
+}
+
+void
+registerAll()
+{
+    for (MicroKind kind :
+         {MicroKind::Hash, MicroKind::Queue, MicroKind::Sps}) {
+        for (const Config &cfg : kConfigs) {
+            std::string name = std::string("ablModels/") +
+                               workload::toString(kind) + "/" +
+                               cfg.label;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [kind, cfg](benchmark::State &st) {
+                    cell(st, kind, cfg);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    printTable(
+        "Persistency models (Figure 1): execution time normalized to "
+        "NP (expected SP >> EP >= BEP > BEP++)",
+        {"hash", "queue", "sps"}, {"BEP++", "BEP", "EP", "SP"},
+        [](const std::string &w, const std::string &c) {
+            const Row *row = findRow(w, c);
+            const Row *base = findRow(w, "NP");
+            if (!row || !base || base->result.execTicks == 0)
+                return 0.0;
+            return static_cast<double>(row->result.execTicks) /
+                   static_cast<double>(base->result.execTicks);
+        },
+        "gmean", /*useGmean=*/true);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * §7.2 ablation: the naive write-through implementation of strict
+ * persistency, vs the NP baseline.
+ *
+ * Paper result: write-through SP is ~8x slower than NP, which is why
+ * the paper implements BSP in bulk mode instead.
+ */
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using model::PersistencyModel;
+using persist::BarrierKind;
+
+namespace
+{
+
+// Write-through is brutally slow, so default to fewer ops per thread.
+void
+cell(benchmark::State &state, const std::string &preset, bool strict)
+{
+    const std::uint64_t ops = envOps(4000);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row = runBspCell(
+            preset,
+            strict ? PersistencyModel::Strict
+                   : PersistencyModel::NoPersistency,
+            BarrierKind::None, 0, false, strict ? "SP-WT" : "NP", ops,
+            cores, envSeed());
+        exportCounters(state, row);
+    }
+}
+
+void
+registerAll()
+{
+    // A representative subset keeps the strawman affordable.
+    const std::vector<std::string> presets = {"ssca2", "radix",
+                                              "barnes"};
+    for (const auto &preset : presets) {
+        for (bool strict : {false, true}) {
+            std::string name = std::string("ablWriteThrough/") + preset +
+                               "/" + (strict ? "SP-WT" : "NP");
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [preset, strict](benchmark::State &st) {
+                    cell(st, preset, strict);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    printTable(
+        "Write-through strict persistency: execution time normalized "
+        "to NP (paper: ~8x)",
+        {"ssca2", "radix", "barnes"}, {"SP-WT"},
+        [](const std::string &w, const std::string &c) {
+            const Row *row = findRow(w, c);
+            const Row *base = findRow(w, "NP");
+            if (!row || !base || base->result.execTicks == 0)
+                return 0.0;
+            return static_cast<double>(row->result.execTicks) /
+                   static_cast<double>(base->result.execTicks);
+        },
+        "gmean", /*useGmean=*/true);
+    return 0;
+}

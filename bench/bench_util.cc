@@ -1,0 +1,217 @@
+#include "bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace persim::bench
+{
+
+std::vector<Row> &
+rows()
+{
+    static std::vector<Row> store;
+    return store;
+}
+
+const Row *
+findRow(const std::string &workload, const std::string &config)
+{
+    for (const Row &r : rows()) {
+        if (r.workload == workload && r.config == config)
+            return &r;
+    }
+    return nullptr;
+}
+
+static std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : def;
+}
+
+std::uint64_t
+envOps(std::uint64_t def)
+{
+    return envU64("PERSIM_BENCH_OPS", def);
+}
+
+unsigned
+envCores(unsigned def)
+{
+    return static_cast<unsigned>(envU64("PERSIM_BENCH_CORES", def));
+}
+
+std::uint64_t
+envSeed(std::uint64_t def)
+{
+    return envU64("PERSIM_SEED", def);
+}
+
+double
+sumPerCore(const std::map<std::string, double> &stats,
+           const std::string &prefix, const std::string &suffix,
+           unsigned cores)
+{
+    double total = 0;
+    for (unsigned c = 0; c < cores; ++c) {
+        auto it = stats.find(prefix + std::to_string(c) + suffix);
+        if (it != stats.end())
+            total += it->second;
+    }
+    return total;
+}
+
+model::SystemConfig
+benchConfig(unsigned cores)
+{
+    if (cores == 32)
+        return model::SystemConfig::paperTable1();
+    model::SystemConfig cfg = model::SystemConfig::smallTest(cores);
+    return cfg;
+}
+
+static Row &
+storeRow(const std::string &workload, const std::string &config,
+         model::System &sys, model::SimResult res)
+{
+    if (!res.completed) {
+        warn("bench cell ", workload, "/", config,
+             " did not complete (deadlocked=", res.deadlocked,
+             ", timedOut=", res.timedOut, ")");
+    }
+    if (!res.violations.empty()) {
+        warn("bench cell ", workload, "/", config, " had ",
+             res.violations.size(),
+             " ordering violations; first: ", res.violations.front());
+    }
+    rows().push_back(Row{workload, config, std::move(res), sys.stats()});
+    return rows().back();
+}
+
+const Row &
+runBepMicro(workload::MicroKind kind, persist::BarrierKind barrier,
+            std::uint64_t opsPerThread, unsigned cores,
+            std::uint64_t seed,
+            const std::function<void(model::SystemConfig &)> &tweak)
+{
+    model::SystemConfig cfg = benchConfig(cores);
+    applyPersistencyModel(cfg, model::PersistencyModel::BufferedEpoch,
+                          barrier);
+    cfg.seed = seed;
+    if (tweak)
+        tweak(cfg);
+    model::System sys(cfg);
+
+    workload::MicroConfig mc;
+    mc.kind = kind;
+    mc.numThreads = cores;
+    mc.opsPerThread = opsPerThread;
+    mc.seed = seed;
+    auto workloads = workload::makeMicroWorkloads(mc);
+    for (unsigned t = 0; t < cores; ++t)
+        sys.setWorkload(static_cast<CoreId>(t), std::move(workloads[t]));
+
+    model::SimResult res = sys.run();
+    return storeRow(workload::toString(kind),
+                    persist::toString(barrier), sys, std::move(res));
+}
+
+const Row &
+runBspCell(const std::string &preset, model::PersistencyModel pm,
+           persist::BarrierKind barrier, unsigned epochSize, bool logging,
+           const std::string &configLabel, std::uint64_t opsPerThread,
+           unsigned cores, std::uint64_t seed,
+           const std::function<void(model::SystemConfig &)> &tweak)
+{
+    model::SystemConfig cfg = benchConfig(cores);
+    applyPersistencyModel(cfg, pm, barrier, epochSize);
+    if (pm == model::PersistencyModel::BufferedStrict && !logging) {
+        cfg.barrier.logging = false; // LB++NOLOG ablation
+        cfg.barrier.checkpointLines = 0;
+    }
+    cfg.seed = seed;
+    if (tweak)
+        tweak(cfg);
+    model::System sys(cfg);
+
+    auto workloads = workload::makeSyntheticWorkloads(preset, cores,
+                                                      opsPerThread, seed);
+    for (unsigned t = 0; t < cores; ++t)
+        sys.setWorkload(static_cast<CoreId>(t), std::move(workloads[t]));
+
+    model::SimResult res = sys.run();
+    return storeRow(preset, configLabel, sys, std::move(res));
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0;
+    for (double x : xs)
+        logSum += std::log(x);
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+void
+printTable(const std::string &title,
+           const std::vector<std::string> &workloads,
+           const std::vector<std::string> &configs,
+           const std::function<double(const std::string &,
+                                      const std::string &)> &cell,
+           const std::string &meanLabel, bool useGmean)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-12s", "workload");
+    for (const auto &c : configs)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    std::vector<std::vector<double>> perConfig(configs.size());
+    for (const auto &w : workloads) {
+        std::printf("%-12s", w.c_str());
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const double v = cell(w, configs[i]);
+            perConfig[i].push_back(v);
+            std::printf(" %12.3f", v);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-12s", meanLabel.c_str());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        std::printf(" %12.3f", useGmean ? gmean(perConfig[i])
+                                        : amean(perConfig[i]));
+    }
+    std::printf("\n");
+}
+
+void
+exportCounters(benchmark::State &state, const Row &row)
+{
+    state.counters["simMcycles"] =
+        static_cast<double>(row.result.execTicks) / 1e6;
+    state.counters["events"] =
+        static_cast<double>(row.result.events);
+    state.counters["txns"] =
+        static_cast<double>(row.result.transactions);
+    state.counters["txnPerMcycle"] = row.result.throughput();
+    state.counters["violations"] =
+        static_cast<double>(row.result.violations.size());
+}
+
+} // namespace persim::bench

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benches.
+ *
+ * Each bench binary registers one google-benchmark per (workload,
+ * configuration) cell, runs every simulation exactly once
+ * (Iterations(1) — the measured quantity is *simulated* time, not wall
+ * clock), collects the rows, and prints the corresponding paper
+ * figure/table after the framework finishes.
+ *
+ * Environment knobs:
+ *   PERSIM_BENCH_OPS    per-thread operation count (scales run length)
+ *   PERSIM_BENCH_CORES  number of cores (default 32, the paper's setup)
+ *   PERSIM_SEED         workload seed
+ */
+
+#ifndef PERSIM_BENCH_BENCH_UTIL_HH
+#define PERSIM_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/system.hh"
+#include "workload/workload_factory.hh"
+
+namespace persim::bench
+{
+
+/** One completed simulation cell. */
+struct Row
+{
+    std::string workload;
+    std::string config;
+    model::SimResult result;
+    std::map<std::string, double> stats;
+};
+
+/** Global row store for the current bench binary. */
+std::vector<Row> &rows();
+
+/** Find a completed row; nullptr if missing. */
+const Row *findRow(const std::string &workload,
+                   const std::string &config);
+
+std::uint64_t envOps(std::uint64_t def);
+unsigned envCores(unsigned def = 32);
+std::uint64_t envSeed(std::uint64_t def = 1);
+
+/** Sum "<prefix><i><suffix>" over all per-core stat instances. */
+double sumPerCore(const std::map<std::string, double> &stats,
+                  const std::string &prefix, const std::string &suffix,
+                  unsigned cores);
+
+/** Build a Table-1 system for the requested core count. */
+model::SystemConfig benchConfig(unsigned cores);
+
+/**
+ * Run one BEP micro-benchmark cell and record it.
+ *
+ * @return The stored row.
+ */
+const Row &runBepMicro(workload::MicroKind kind,
+                       persist::BarrierKind barrier,
+                       std::uint64_t opsPerThread, unsigned cores,
+                       std::uint64_t seed,
+                       const std::function<void(model::SystemConfig &)>
+                           &tweak = {});
+
+/** Run one BSP (or NP baseline) cell over a synthetic workload. */
+const Row &runBspCell(const std::string &preset,
+                      model::PersistencyModel pm,
+                      persist::BarrierKind barrier, unsigned epochSize,
+                      bool logging, const std::string &configLabel,
+                      std::uint64_t opsPerThread, unsigned cores,
+                      std::uint64_t seed,
+                      const std::function<void(model::SystemConfig &)>
+                          &tweak = {});
+
+/** Geometric mean of @p xs (which must be positive). */
+double gmean(const std::vector<double> &xs);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &xs);
+
+/** Print an aligned table: header row then one row per workload. */
+void printTable(const std::string &title,
+                const std::vector<std::string> &workloads,
+                const std::vector<std::string> &configs,
+                const std::function<double(const std::string &,
+                                           const std::string &)> &cell,
+                const std::string &meanLabel, bool useGmean);
+
+/** Fill benchmark counters from a row (simulated metrics). */
+void exportCounters(benchmark::State &state, const Row &row);
+
+} // namespace persim::bench
+
+#endif // PERSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 11: transaction throughput of the Table 2 micro-benchmarks
+ * under Buffered Epoch Persistency, for LB / LB+IDT / LB+PF / LB++,
+ * normalized to LB.
+ *
+ * Paper result: gmean +3% (LB+IDT), +17% (LB+PF), +22% (LB++) over LB.
+ */
+
+#include "bench_util.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using persist::BarrierKind;
+using workload::MicroKind;
+
+namespace
+{
+
+const std::vector<BarrierKind> kVariants = {
+    BarrierKind::LB,
+    BarrierKind::LBIDT,
+    BarrierKind::LBPF,
+    BarrierKind::LBPP,
+};
+
+void
+bepCell(benchmark::State &state, MicroKind kind, BarrierKind barrier)
+{
+    const std::uint64_t ops = envOps(300);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row =
+            runBepMicro(kind, barrier, ops, cores, envSeed());
+        exportCounters(state, row);
+    }
+}
+
+void
+registerAll()
+{
+    for (MicroKind kind : workload::allMicroKinds()) {
+        for (BarrierKind barrier : kVariants) {
+            std::string name = std::string("fig11/") +
+                               workload::toString(kind) + "/" +
+                               persist::toString(barrier);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [kind, barrier](benchmark::State &st) {
+                    bepCell(st, kind, barrier);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::vector<std::string> workloads;
+    for (auto kind : workload::allMicroKinds())
+        workloads.push_back(workload::toString(kind));
+    std::vector<std::string> configs;
+    for (auto b : kVariants)
+        configs.push_back(persist::toString(b));
+
+    printTable(
+        "Figure 11: transaction throughput normalized to LB "
+        "(higher is better)",
+        workloads, configs,
+        [](const std::string &w, const std::string &c) {
+            const Row *row = findRow(w, c);
+            const Row *base = findRow(w, "LB");
+            if (!row || !base || base->result.throughput() == 0)
+                return 0.0;
+            return row->result.throughput() /
+                   base->result.throughput();
+        },
+        "gmean", /*useGmean=*/true);
+    return 0;
+}

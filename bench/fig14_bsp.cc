@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 14: BSP bulk-mode execution time at epoch size 10000,
+ * normalized to NP, for LB / LB+IDT / LB++ / LB++NOLOG.
+ *
+ * Paper result: LB ~1.5x, LB+IDT ~1.35x, LB++ ~1.3x, LB++NOLOG ~1.16x;
+ * ~86% of BSP conflicts are inter-thread, which is why IDT matters so
+ * much more here than under BEP.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/synthetic/presets.hh"
+
+using namespace persim;
+using namespace persim::bench;
+using model::PersistencyModel;
+using persist::BarrierKind;
+
+namespace
+{
+
+constexpr unsigned kEpochSize = 10000;
+
+struct Config
+{
+    const char *label;
+    PersistencyModel pm;
+    BarrierKind barrier;
+    bool logging;
+};
+
+const std::vector<Config> kConfigs = {
+    {"NP", PersistencyModel::NoPersistency, BarrierKind::None, false},
+    {"LB", PersistencyModel::BufferedStrict, BarrierKind::LB, true},
+    {"LB+IDT", PersistencyModel::BufferedStrict, BarrierKind::LBIDT,
+     true},
+    {"LB++", PersistencyModel::BufferedStrict, BarrierKind::LBPP, true},
+    {"LB++NOLOG", PersistencyModel::BufferedStrict, BarrierKind::LBPP,
+     false},
+};
+
+void
+cell(benchmark::State &state, const std::string &preset,
+     const Config &cfg)
+{
+    const std::uint64_t ops = envOps(20000);
+    const unsigned cores = envCores();
+    for (auto _ : state) {
+        const Row &row =
+            runBspCell(preset, cfg.pm, cfg.barrier, kEpochSize,
+                       cfg.logging, cfg.label, ops, cores, envSeed());
+        exportCounters(state, row);
+    }
+}
+
+void
+registerAll()
+{
+    for (const auto &preset : workload::syntheticPresetNames()) {
+        for (const Config &cfg : kConfigs) {
+            std::string name =
+                std::string("fig14/") + preset + "/" + cfg.label;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [preset, cfg](benchmark::State &st) {
+                    cell(st, preset, cfg);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::vector<std::string> configs;
+    for (const Config &c : kConfigs) {
+        if (std::string(c.label) != "NP")
+            configs.push_back(c.label);
+    }
+    printTable(
+        "Figure 14: BSP execution time normalized to NP at epoch size "
+        "10000 (lower is better)",
+        workload::syntheticPresetNames(), configs,
+        [](const std::string &w, const std::string &c) {
+            const Row *row = findRow(w, c);
+            const Row *base = findRow(w, "NP");
+            if (!row || !base || base->result.execTicks == 0)
+                return 0.0;
+            return static_cast<double>(row->result.execTicks) /
+                   static_cast<double>(base->result.execTicks);
+        },
+        "gmean", /*useGmean=*/true);
+
+    // §7.2: conflict-type breakdown under LB (paper: ~86% inter-thread).
+    const unsigned cores = envCores();
+    double intra = 0, inter = 0, repl = 0;
+    for (const auto &preset : workload::syntheticPresetNames()) {
+        const Row *row = findRow(preset, "LB");
+        if (!row)
+            continue;
+        intra += row->stats.count("persist.intraConflicts")
+                     ? row->stats.at("persist.intraConflicts")
+                     : 0;
+        inter += row->stats.count("persist.interConflicts")
+                     ? row->stats.at("persist.interConflicts")
+                     : 0;
+        repl += row->stats.count("persist.replacementConflicts")
+                    ? row->stats.at("persist.replacementConflicts")
+                    : 0;
+    }
+    (void)cores;
+    const double total = intra + inter + repl;
+    if (total > 0) {
+        std::printf("\nConflict breakdown under LB (paper: ~86%% "
+                    "inter-thread):\n");
+        std::printf("  intra-thread: %5.1f%%\n", 100 * intra / total);
+        std::printf("  inter-thread: %5.1f%%\n", 100 * inter / total);
+        std::printf("  replacement:  %5.1f%%\n", 100 * repl / total);
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Persistence-deadlock avoidance by epoch splitting (§3.3).
+ *
+ * Two threads build the paper's Figure 5 pattern: each writes a line in
+ * a long-running epoch, then reads the line the *other* thread wrote.
+ * Under LB each read must wait for the other thread's epoch to persist;
+ * since both epochs are still ongoing, the waits are circular.
+ *
+ * With splitting disabled the run deadlocks (the simulator detects the
+ * quiesced machine and reports it); with the paper's avoidance scheme
+ * the ongoing source epochs split and both threads finish.
+ *
+ *   $ ./examples/deadlock_avoidance
+ */
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "model/system.hh"
+
+using namespace persim;
+
+namespace
+{
+
+/** One side of the Figure 5 circular-dependence ladder. */
+class Figure5Thread : public cpu::Workload
+{
+  public:
+    /**
+     * @param mine Line this thread writes (inside its epoch).
+     * @param theirs Line the other thread writes (read afterwards).
+     */
+    Figure5Thread(Addr mine, Addr theirs) : _mine(mine), _theirs(theirs) {}
+
+    cpu::MemOp
+    next(Tick) override
+    {
+        switch (_step++) {
+          case 0:
+            return cpu::MemOp::store(_mine);
+          case 1:
+            // Give the other thread time to complete its store, so both
+            // epochs are ongoing and dirty when the cross reads happen.
+            return cpu::MemOp::compute(2000);
+          case 2:
+            return cpu::MemOp::load(_theirs); // the circular edge
+          case 3:
+            return cpu::MemOp::store(_mine + kLineBytes);
+          case 4:
+            return cpu::MemOp::barrier();
+          default:
+            return cpu::MemOp::halt();
+        }
+    }
+
+  private:
+    Addr _mine;
+    Addr _theirs;
+    unsigned _step = 0;
+};
+
+model::SimResult
+runFigure5(bool splitOngoing)
+{
+    model::SystemConfig cfg = model::SystemConfig::smallTest(2);
+    applyPersistencyModel(cfg, model::PersistencyModel::BufferedEpoch,
+                          persist::BarrierKind::LB);
+    cfg.barrier.splitOngoing = splitOngoing;
+    model::System sys(cfg);
+    const Addr lineA = Addr{1} << 32;
+    const Addr lineX = (Addr{1} << 32) + 4096;
+    sys.setWorkload(0, std::make_unique<Figure5Thread>(lineA, lineX));
+    sys.setWorkload(1, std::make_unique<Figure5Thread>(lineX, lineA));
+    return sys.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    try {
+        std::printf("Figure 5 circular epoch dependence, two threads.\n\n");
+
+        model::SimResult naive = runFigure5(/*splitOngoing=*/false);
+        std::printf("without epoch splitting: %s\n",
+                    naive.deadlocked
+                        ? "DEADLOCK (as the paper predicts)"
+                        : (naive.completed ? "completed (unexpected!)"
+                                           : "did not complete"));
+
+        model::SimResult split = runFigure5(/*splitOngoing=*/true);
+        std::printf("with epoch splitting:    %s, %zu ordering "
+                    "violations\n",
+                    split.completed ? "completed" : "FAILED",
+                    split.violations.size());
+
+        const bool ok = naive.deadlocked && split.completed &&
+                        split.violations.empty();
+        std::printf("\n%s\n", ok ? "OK: splitting breaks the deadlock "
+                                   "and preserves persist order"
+                                 : "FAILED");
+        return ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

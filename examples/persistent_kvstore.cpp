@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A persistent key-value store under Buffered Epoch Persistency, with a
+ * crash-consistency demonstration.
+ *
+ * The example runs the hash-table workload (a KV store: 512B values in
+ * per-bucket chains, barriers ordering value-then-publish as in Figure
+ * 10), records the full durable-write log, then "crashes" the machine
+ * at an arbitrary instant and shows that the persisted state is
+ * prefix-closed over epochs: for every line that reached NVRAM, every
+ * happens-before-earlier epoch is fully durable — so recovery code
+ * would never observe a published pointer whose value is missing.
+ *
+ *   $ ./examples/persistent_kvstore [opsPerThread] [crashPercent]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "model/recovery.hh"
+#include "model/system.hh"
+#include "workload/workload_factory.hh"
+
+using namespace persim;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t ops = argc > 1 ? std::atoll(argv[1]) : 100;
+    const unsigned crashPct =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 60;
+    try {
+        model::SystemConfig cfg = model::SystemConfig::paperTable1();
+        applyPersistencyModel(cfg,
+                              model::PersistencyModel::BufferedEpoch,
+                              persist::BarrierKind::LBPP);
+        cfg.keepPersistLog = true; // record every durable write
+
+        model::System sys(cfg);
+        workload::MicroConfig mc;
+        mc.kind = workload::MicroKind::Hash;
+        mc.numThreads = cfg.numCores;
+        mc.opsPerThread = ops;
+        auto workloads = workload::makeMicroWorkloads(mc);
+        for (unsigned t = 0; t < cfg.numCores; ++t)
+            sys.setWorkload(static_cast<CoreId>(t),
+                            std::move(workloads[t]));
+
+        model::SimResult res = sys.run();
+        std::printf("KV store ran %llu transactions in %.2f Mcycles "
+                    "(%zu live ordering violations)\n",
+                    static_cast<unsigned long long>(res.transactions),
+                    res.execTicks / 1e6, res.violations.size());
+
+        const auto &log = sys.checker()->log();
+        std::printf("durable-write log: %zu entries\n", log.size());
+
+        // Simulate a crash at crashPct% of the persist stream (plus the
+        // edges) and report the recovery point per core.
+        model::RecoveryAnalysis ra(log, cfg.numCores);
+        bool allOk = true;
+        for (std::size_t cut :
+             {std::size_t{0}, log.size() * crashPct / 100, log.size()}) {
+            model::RecoveryReport rep = ra.analyze(cut);
+            std::printf("crash after %zu durable writes: %s", cut,
+                        rep.consistent ? "recoverable" : "INCONSISTENT");
+            if (rep.consistent && cut > 0) {
+                unsigned partials = 0;
+                for (const auto &c : rep.cores)
+                    partials += c.hasPartialEpoch ? 1 : 0;
+                std::printf(" (%u cores with an undo-able partial "
+                            "epoch)",
+                            partials);
+            }
+            std::printf("\n");
+            for (const auto &p : rep.problems)
+                std::printf("  %s\n", p.c_str());
+            allOk = allOk && rep.consistent;
+        }
+
+        // Exhaustive sweep: every crash instant must be recoverable.
+        const std::size_t bad = ra.firstInconsistency();
+        std::printf("exhaustive sweep over %zu crash points: %s\n",
+                    log.size() + 1,
+                    bad > log.size() ? "all recoverable"
+                                     : "INCONSISTENCY FOUND");
+        allOk = allOk && bad > log.size();
+        return res.completed && res.violations.empty() && allOk ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,125 @@
+#include "cache/cache_array.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::cache
+{
+
+namespace
+{
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+} // namespace
+
+CacheArray::CacheArray(std::string name, const CacheGeometry &geom,
+                       unsigned setShift)
+    : _name(std::move(name)), _geom(geom), _setShift(setShift)
+{
+    simAssert(geom.ways > 0, _name, ": zero ways");
+    simAssert(geom.sizeBytes % (geom.ways * kLineBytes) == 0, _name,
+              ": size not a multiple of way size");
+    _sets = geom.sets();
+    simAssert(isPowerOfTwo(_sets), _name, ": sets (", _sets,
+              ") not a power of two");
+    _lines.resize(static_cast<std::size_t>(_sets) * geom.ways);
+}
+
+CacheLine *
+CacheArray::find(Addr addr)
+{
+    addr = lineAlign(addr);
+    CacheLine *base = setBase(setIndex(addr));
+    for (unsigned w = 0; w < _geom.ways; ++w) {
+        if (base[w].valid() && base[w].addr == addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+void
+CacheArray::touch(CacheLine &line)
+{
+    line.lruStamp = ++_lruClock;
+}
+
+CacheLine *
+CacheArray::victimFor(Addr addr, bool avoidTagged)
+{
+    CacheLine *base = setBase(setIndex(lineAlign(addr)));
+    const bool random = _geom.policy == ReplacementPolicy::Random;
+    CacheLine *any = nullptr;
+    CacheLine *untagged = nullptr;
+    CacheLine *quiet = nullptr; // untagged and no L1 copies
+    // Random policy: reservoir-sample one candidate per tier.
+    unsigned nAny = 0, nUntagged = 0, nQuiet = 0;
+
+    auto better = [&](CacheLine *&slot, CacheLine &cand, unsigned &n) {
+        ++n;
+        if (!slot) {
+            slot = &cand;
+        } else if (random) {
+            if (_rng.below(n) == 0)
+                slot = &cand;
+        } else if (cand.lruStamp < slot->lruStamp) {
+            slot = &cand;
+        }
+    };
+
+    for (unsigned w = 0; w < _geom.ways; ++w) {
+        CacheLine &cand = base[w];
+        if (cand.pinned)
+            continue;
+        if (!cand.valid())
+            return &cand;
+        better(any, cand, nAny);
+        if (!cand.tagged()) {
+            better(untagged, cand, nUntagged);
+            if (cand.owner == kNoCore && cand.sharers == 0)
+                better(quiet, cand, nQuiet);
+        }
+    }
+    if (avoidTagged && quiet)
+        return quiet;
+    if (avoidTagged && untagged)
+        return untagged;
+    return any;
+}
+
+CacheLine &
+CacheArray::fill(CacheLine &line, Addr addr, CoherenceState state)
+{
+    simAssert(!line.valid(), _name, ": fill into a valid line");
+    addr = lineAlign(addr);
+    simAssert(setIndex(addr) ==
+                  static_cast<unsigned>((&line - _lines.data()) /
+                                        _geom.ways),
+              _name, ": fill into the wrong set");
+    line.addr = addr;
+    line.state = state;
+    line.dirty = false;
+    line.clearTag();
+    line.owner = kNoCore;
+    line.sharers = 0;
+    touch(line);
+    return line;
+}
+
+void
+CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
+{
+    for (CacheLine &line : _lines) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+} // namespace persim::cache

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Set-associative tag array with pluggable victim selection.
+ */
+
+#ifndef PERSIM_CACHE_CACHE_ARRAY_HH
+#define PERSIM_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_line.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace persim::cache
+{
+
+/** Victim-selection policy. */
+enum class ReplacementPolicy
+{
+    Lru,
+    Random,
+};
+
+/** Geometry of one cache (sizes in bytes; Table 1 defaults are set by
+ * SystemConfig). */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 4;
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+
+    unsigned sets() const
+    {
+        return static_cast<unsigned>(sizeBytes / (ways * kLineBytes));
+    }
+};
+
+/**
+ * A set-associative array of CacheLine metadata with LRU replacement.
+ *
+ * The array indexes by line address. Victim selection is LRU, optionally
+ * preferring lines without a persist tag (so demand misses avoid
+ * triggering epoch flushes when an untagged victim exists; see DESIGN.md
+ * §2.2, replacement conflicts).
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param name Instance name for diagnostics.
+     * @param geom Size and associativity; sizeBytes must be a multiple of
+     *             ways * 64 and sets a power of two.
+     * @param setShift Right-shift applied to the line number before set
+     *                 indexing; LLC banks use this to strip the bank-select
+     *                 bits so each bank indexes its own address slice.
+     */
+    CacheArray(std::string name, const CacheGeometry &geom,
+               unsigned setShift = 0);
+
+    /** Find the line holding @p addr, or nullptr. Does not touch LRU. */
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    /** Mark @p line most recently used. */
+    void touch(CacheLine &line);
+
+    /**
+     * Pick a victim way for filling @p addr.
+     *
+     * Pinned lines are never candidates. Preference order: an invalid
+     * way; then (when @p avoidTagged) the least-eligible line among
+     * untagged lines with no L1 copies; then among untagged lines; then
+     * any line. "Least eligible" is LRU under the Lru policy and a
+     * uniformly random candidate under Random. The returned line is NOT
+     * modified; the caller evicts and refills.
+     *
+     * @return nullptr when every way is pinned.
+     */
+    CacheLine *victimFor(Addr addr, bool avoidTagged);
+
+    /**
+     * Install @p addr into @p line (which the caller already evicted).
+     * Resets metadata, sets the address and state, and touches LRU.
+     */
+    CacheLine &fill(CacheLine &line, Addr addr, CoherenceState state);
+
+    unsigned sets() const { return _sets; }
+    unsigned ways() const { return _geom.ways; }
+
+    /** Iterate over every valid line (diagnostics and invariant checks). */
+    void forEachValid(const std::function<void(CacheLine &)> &fn);
+
+    /** Index of the set @p addr maps to (exposed for tests). */
+    unsigned setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((lineNum(addr) >> _setShift) &
+                                     (_sets - 1));
+    }
+
+  private:
+    CacheLine *setBase(unsigned set) { return &_lines[set * _geom.ways]; }
+
+    std::string _name;
+    CacheGeometry _geom;
+    unsigned _setShift;
+    unsigned _sets;
+    std::vector<CacheLine> _lines;
+    std::uint64_t _lruClock = 0;
+    Rng _rng{0xC0FFEE};
+};
+
+} // namespace persim::cache
+
+#endif // PERSIM_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cache line metadata, including the paper's epoch-tag extensions.
+ *
+ * The simulator is metadata-only: lines carry coherence and persistency
+ * state but no data payload. The persist-tag extension (CoreID + EpochID,
+ * §4.3 of the paper) marks the one unpersisted incarnation of a dirty
+ * line; the simulator maintains the invariant that a line has at most one
+ * unpersisted incarnation system-wide at any time.
+ */
+
+#ifndef PERSIM_CACHE_CACHE_LINE_HH
+#define PERSIM_CACHE_CACHE_LINE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace persim::cache
+{
+
+/** Stable coherence states (no transients; banks serialize per line). */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,    // read-only copy
+    Exclusive, // sole clean copy (L1 only)
+    Modified,  // sole dirty copy (L1 only)
+};
+
+/** Per-line metadata shared by L1 and LLC arrays. */
+struct CacheLine
+{
+    /** Line-aligned address; valid only when state != Invalid. */
+    Addr addr = 0;
+
+    CoherenceState state = CoherenceState::Invalid;
+
+    /** The copy at this level differs from the level below. */
+    bool dirty = false;
+
+    /**
+     * Persist tag: the core whose unpersisted epoch last wrote the line.
+     * kNoCore when the line carries no persist obligation at this level.
+     */
+    CoreId epochCore = kNoCore;
+
+    /** Persist tag: epoch of last modification; kNoEpoch if untagged. */
+    EpochId epochId = kNoEpoch;
+
+    /** LLC only: L1 holding the line Exclusive/Modified, or kNoCore. */
+    CoreId owner = kNoCore;
+
+    /** LLC only: bitmask of L1s holding Shared copies. */
+    std::uint64_t sharers = 0;
+
+    /** LRU timestamp maintained by the array. */
+    std::uint64_t lruStamp = 0;
+
+    /**
+     * LLC only: the line (or, for an invalid line, the way) is locked by
+     * an in-flight bank transaction or eviction; victim selection and
+     * invalidating flushes skip pinned lines.
+     */
+    bool pinned = false;
+
+    bool valid() const { return state != CoherenceState::Invalid; }
+
+    /** True when the line carries an unpersisted-epoch obligation. */
+    bool tagged() const { return epochCore != kNoCore; }
+
+    /** Clear the persist tag (the incarnation persisted or moved). */
+    void
+    clearTag()
+    {
+        epochCore = kNoCore;
+        epochId = kNoEpoch;
+    }
+
+    /** Set the persist tag for an incarnation written by (core, epoch). */
+    void
+    setTag(CoreId core, EpochId epoch)
+    {
+        epochCore = core;
+        epochId = epoch;
+    }
+
+    /** Reset to Invalid, dropping all metadata (pin included). */
+    void
+    invalidate()
+    {
+        state = CoherenceState::Invalid;
+        dirty = false;
+        clearTag();
+        owner = kNoCore;
+        sharers = 0;
+        pinned = false;
+    }
+};
+
+} // namespace persim::cache
+
+#endif // PERSIM_CACHE_CACHE_LINE_HH

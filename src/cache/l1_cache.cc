@@ -1,0 +1,416 @@
+#include "cache/l1_cache.hh"
+
+#include <utility>
+
+#include "cache/llc_bank.hh"
+#include "nvm/memory_controller.hh"
+#include "persist/persist_controller.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace persim::cache
+{
+
+L1Cache::L1Cache(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
+                 unsigned nodeId, unsigned x, unsigned y, CoreId core,
+                 const L1Config &cfg, persist::PersistController &pc)
+    : SimObject(name, eq),
+      _core(core),
+      _cfg(cfg),
+      _pc(pc),
+      _stats(name),
+      _ni(name + ".ni", mesh, nodeId, x, y),
+      _array(name + ".array", cfg.geometry),
+      _mshrs(cfg.mshrs),
+      _flushEngine(name + ".flushEngine"),
+      _loads(&_stats, "loads", "load accesses"),
+      _stores(&_stats, "stores", "store accesses"),
+      _hits(&_stats, "hits", "accesses served without the LLC"),
+      _misses(&_stats, "misses", "accesses sent to the home bank"),
+      _writebacksDirty(&_stats, "writebacksDirty", "dirty writebacks"),
+      _writebacksClean(&_stats, "writebacksClean",
+                       "clean eviction notices"),
+      _downgrades(&_stats, "downgrades", "remote-recall downgrades"),
+      _invalidations(&_stats, "invalidations", "invalidations received"),
+      _mshrDefers(&_stats, "mshrDefers", "accesses deferred on full MSHRs")
+{
+}
+
+void
+L1Cache::access(Addr addr, bool isWrite,
+                std::function<void()> onComplete)
+{
+    addr = lineAlign(addr);
+    if (isWrite)
+        ++_stores;
+    else
+        ++_loads;
+    scheduleIn(_cfg.accessLatency,
+               [this, addr, isWrite,
+                onComplete = std::move(onComplete)]() mutable {
+                   accessStage2(addr, isWrite, std::move(onComplete));
+               });
+}
+
+void
+L1Cache::accessStage2(Addr addr, bool isWrite,
+                      std::function<void()> onComplete)
+{
+    if (_mshrs.has(addr)) {
+        ++_misses;
+        _mshrs.merge(addr,
+                     PendingAccess{isWrite, _core, std::move(onComplete)});
+        return;
+    }
+    CacheLine *line = _array.find(addr);
+    if (line && (!isWrite || line->state == CoherenceState::Modified ||
+                 line->state == CoherenceState::Exclusive)) {
+        ++_hits;
+        if (isWrite) {
+            performStore(addr, std::move(onComplete));
+        } else {
+            _array.touch(*line);
+            onComplete();
+        }
+        return;
+    }
+    ++_misses;
+    PendingAccess acc{isWrite, _core, std::move(onComplete)};
+    if (_mshrs.full()) {
+        ++_mshrDefers;
+        _deferred.push_back([this, addr, isWrite,
+                             acc = std::move(acc)]() mutable {
+            accessStage2(addr, isWrite, std::move(acc.onComplete));
+        });
+        return;
+    }
+    // An upgrade leaves the present (Shared) copy in a transient state:
+    // pin it so capacity evictions cannot victimize it — its eviction
+    // notice would race the grant and corrupt the directory.
+    if (line)
+        line->pinned = true;
+    _mshrs.allocate(addr, isWrite, std::move(acc));
+    sendMiss(addr, isWrite, PendingAccess{isWrite, _core, {}});
+}
+
+void
+L1Cache::prefetchExclusive(Addr addr)
+{
+    addr = lineAlign(addr);
+    scheduleIn(_cfg.accessLatency, [this, addr] {
+        if (_mshrs.has(addr) || _mshrs.full())
+            return;
+        CacheLine *line = _array.find(addr);
+        if (line && (line->state == CoherenceState::Modified ||
+                     line->state == CoherenceState::Exclusive)) {
+            return;
+        }
+        if (line)
+            line->pinned = true; // transient upgrade; see accessStage2
+        _mshrs.allocate(addr, true, PendingAccess{false, _core, {}});
+        sendMiss(addr, true, PendingAccess{true, _core, {}});
+    });
+}
+
+void
+L1Cache::sendMiss(Addr addr, bool isWrite, PendingAccess acc)
+{
+    (void)acc;
+    LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
+    LlcBank *bankPtr = &bank;
+    CoreId core = _core;
+    _ni.sendControl(bank.nodeId(), [bankPtr, addr, isWrite, core] {
+        bankPtr->handleRequest(addr, isWrite, core);
+    });
+}
+
+void
+L1Cache::performStore(Addr addr, std::function<void()> onComplete)
+{
+    CacheLine *line = _array.find(addr);
+    simAssert(line, name(), ": performStore on absent line");
+    _pc.beforeL1Store(
+        _core, *line,
+        [this, addr, onComplete = std::move(onComplete)]() mutable {
+            // Conflict resolution may have flushed (and, with an
+            // invalidating flush, dropped) the line; re-validate.
+            CacheLine *l = _array.find(addr);
+            if (!l || (l->state != CoherenceState::Modified &&
+                       l->state != CoherenceState::Exclusive)) {
+                std::vector<PendingAccess> q;
+                q.push_back(PendingAccess{true, _core,
+                                          std::move(onComplete)});
+                replayNext(addr, std::move(q), 0);
+                return;
+            }
+            l->state = CoherenceState::Modified;
+            l->dirty = true;
+            _array.touch(*l);
+            _pc.afterL1Store(_core, *l);
+            onComplete();
+        });
+}
+
+void
+L1Cache::handleFillGrant(Addr addr, CoherenceState state, CoreId tagCore,
+                         EpochId tagEpoch)
+{
+    CacheLine *line = _array.find(addr);
+    if (!line) {
+        CacheLine *victim = _array.victimFor(addr, false);
+        if (!victim) {
+            // Every way holds a transient (pinned) upgrade; their own
+            // grants will unpin them shortly. The home bank keeps the
+            // line busy until our Unblock, so retrying is safe.
+            scheduleIn(8, [this, addr, state, tagCore, tagEpoch] {
+                handleFillGrant(addr, state, tagCore, tagEpoch);
+            });
+            return;
+        }
+        if (victim->valid())
+            writebackLine(*victim, WritebackKind::Eviction);
+        line = &_array.fill(*victim, addr, state);
+    } else {
+        line->state = state;
+        line->pinned = false; // the transient upgrade resolved
+        _array.touch(*line);
+    }
+    if (tagCore != kNoCore) {
+        // A same-epoch incarnation moved back into this L1 (the grant
+        // logic already moved the flush-engine bucket); the L1 copy now
+        // carries the persist obligation.
+        line->setTag(tagCore, tagEpoch);
+        line->dirty = true;
+    }
+    replayNext(addr, _mshrs.release(addr), 0);
+}
+
+void
+L1Cache::replayNext(Addr addr, std::vector<PendingAccess> queue,
+                    std::size_t idx)
+{
+    if (idx >= queue.size()) {
+        serviceDeferred();
+        return;
+    }
+    PendingAccess &acc = queue[idx];
+    CacheLine *line = _array.find(addr);
+
+    if (!acc.isWrite) {
+        if (line) {
+            _array.touch(*line);
+            auto done = std::move(acc.onComplete);
+            if (done)
+                done();
+            replayNext(addr, std::move(queue), idx + 1);
+        } else {
+            goto resend;
+        }
+        return;
+    }
+
+    if (line && (line->state == CoherenceState::Modified ||
+                 line->state == CoherenceState::Exclusive)) {
+        performStore(addr,
+                     [this, addr, done = std::move(acc.onComplete),
+                      queue = std::move(queue), idx]() mutable {
+                         if (done)
+                             done();
+                         replayNext(addr, std::move(queue), idx + 1);
+                     });
+        return;
+    }
+
+resend:
+    // The line is absent (or insufficient for a write): re-enter the
+    // miss path with every remaining access.
+    bool anyWrite = false;
+    for (std::size_t i = idx; i < queue.size(); ++i) {
+        if (queue[i].isWrite) {
+            anyWrite = true;
+            break;
+        }
+    }
+    if (_mshrs.has(addr)) {
+        for (std::size_t i = idx; i < queue.size(); ++i)
+            _mshrs.merge(addr, std::move(queue[i]));
+        return;
+    }
+    if (_mshrs.full()) {
+        ++_mshrDefers;
+        _deferred.push_back(
+            [this, addr, queue = std::move(queue), idx]() mutable {
+                replayNext(addr, std::move(queue), idx);
+            });
+        return;
+    }
+    ++_misses; // the replayed access goes back to the home bank
+    if (line)
+        line->pinned = true; // transient upgrade; see accessStage2
+    _mshrs.allocate(addr, anyWrite, std::move(queue[idx]));
+    for (std::size_t i = idx + 1; i < queue.size(); ++i)
+        _mshrs.merge(addr, std::move(queue[i]));
+    sendMiss(addr, anyWrite, PendingAccess{anyWrite, _core, {}});
+}
+
+void
+L1Cache::serviceDeferred()
+{
+    while (!_deferred.empty() && !_mshrs.full()) {
+        auto fn = std::move(_deferred.front());
+        _deferred.pop_front();
+        fn();
+    }
+}
+
+void
+L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
+{
+    simAssert(line.valid(), name(), ": writeback of invalid line");
+    const Addr addr = line.addr;
+    LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
+    const bool dirty = line.dirty;
+
+    tracef("WB", *this, "writeback 0x", std::hex, addr, std::dec,
+           " kind=", int(kind), " dirty=", dirty, " tagged=",
+           line.tagged());
+    // Charge mesh bandwidth; state transfers synchronously below.
+    if (dirty) {
+        ++_writebacksDirty;
+        _ni.sendData(bank.nodeId(), [] {});
+    } else {
+        ++_writebacksClean;
+        _ni.sendControl(bank.nodeId(), [] {});
+    }
+
+    if (dirty) {
+        CacheLine *llcLine = bank.find(addr);
+        simAssert(llcLine, name(), ": inclusion violated for 0x",
+                  std::hex, addr, std::dec, " (state ",
+                  int(line.state), ", tagged ", line.tagged(),
+                  ", epoch ", line.epochId, ", kind ", int(kind), ")");
+        llcLine->dirty = true;
+        if (line.tagged())
+            _pc.onL1Writeback(_core, line, *llcLine, bank.bankIdx());
+    }
+    bank.acceptWriteback(_core, addr, dirty, kind);
+
+    switch (kind) {
+      case WritebackKind::Eviction:
+      case WritebackKind::DowngradeToInvalid:
+        line.invalidate();
+        break;
+      case WritebackKind::DowngradeToShared:
+        line.state = CoherenceState::Shared;
+        line.dirty = false;
+        line.clearTag();
+        break;
+      case WritebackKind::FlushRetain:
+        // clwb semantics: the line stays, clean, and KEEPS its epoch tag
+        // until the epoch persists — a subsequent same-core store must
+        // still detect the intra-thread conflict (§3.2). The stale tag
+        // is cleared by the conflict-resolution path once persisted.
+        line.state = CoherenceState::Exclusive;
+        line.dirty = false;
+        break;
+    }
+}
+
+void
+L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
+                         std::function<void()> replyAtBank)
+{
+    scheduleIn(_cfg.accessLatency, [this, addr, forWrite, bankNode,
+                                    replyAtBank = std::move(replyAtBank)] {
+        CacheLine *line = _array.find(addr);
+        bool hadDirty = false;
+        tracef("WB", *this, "downgrade 0x", std::hex, addr, std::dec,
+               " present=", line != nullptr, " forWrite=", forWrite);
+        if (line) {
+            ++_downgrades;
+            hadDirty = line->dirty;
+            // State syncs here; the reply message below carries the data
+            // (so the writeback itself must not double-charge the mesh).
+            LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
+            if (hadDirty) {
+                CacheLine *llcLine = bank.find(addr);
+                simAssert(llcLine, name(), ": inclusion violated");
+                llcLine->dirty = true;
+                if (line->tagged())
+                    _pc.onL1Writeback(_core, *line, *llcLine,
+                                      bank.bankIdx());
+            }
+            bank.acceptWriteback(_core, addr, hadDirty,
+                                 forWrite ? WritebackKind::DowngradeToInvalid
+                                          : WritebackKind::DowngradeToShared);
+            if (forWrite) {
+                line->invalidate();
+            } else {
+                line->state = CoherenceState::Shared;
+                line->dirty = false;
+                line->clearTag();
+            }
+        }
+        if (hadDirty)
+            _ni.sendData(bankNode, replyAtBank);
+        else
+            _ni.sendControl(bankNode, replyAtBank);
+    });
+}
+
+void
+L1Cache::handleInvalidate(Addr addr, unsigned bankNode,
+                          std::function<void()> ackAtBank)
+{
+    scheduleIn(1, [this, addr, bankNode, ackAtBank = std::move(ackAtBank)] {
+        CacheLine *line = _array.find(addr);
+        if (line) {
+            simAssert(line->state == CoherenceState::Shared, name(),
+                      ": invalidate hit a non-Shared line");
+            ++_invalidations;
+            line->invalidate();
+        }
+        _ni.sendControl(bankNode, ackAtBank);
+    });
+}
+
+Tick
+L1Cache::flushLines(const std::vector<Addr> &lines, bool invalidating,
+                    Tick interval)
+{
+    Tick offset = 0;
+    for (Addr addr : lines) {
+        scheduleIn(offset, [this, addr, invalidating] {
+            CacheLine *line = _array.find(addr);
+            // The line may have been naturally written back between the
+            // walk snapshot and this issue slot; its incarnation already
+            // moved to the bank, so there is nothing left to do here.
+            if (!line || !line->dirty)
+                return;
+            writebackLine(*line, invalidating ? WritebackKind::Eviction
+                                              : WritebackKind::FlushRetain);
+        });
+        offset += interval;
+    }
+    return curTick() + offset;
+}
+
+void
+L1Cache::issueNvmWrite(Addr addr, CoreId core, EpochId epoch, bool isLog,
+                       std::function<void()> onAckHere)
+{
+    nvm::MemoryController &mc = _pc.mcFor(addr);
+    nvm::MemoryController *mcPtr = &mc;
+    nvm::WriteReq req;
+    req.addr = lineAlign(addr);
+    req.core = core;
+    req.epoch = epoch;
+    req.isLog = isLog;
+    req.replyTo = _ni.nodeId();
+    req.onPersist = std::move(onAckHere);
+    _ni.sendData(mc.nodeId(), [mcPtr, req = std::move(req)]() mutable {
+        mcPtr->handleWrite(std::move(req));
+    });
+}
+
+} // namespace persim::cache

@@ -1,0 +1,538 @@
+#include "cache/llc_bank.hh"
+
+#include <bit>
+#include <memory>
+#include <ostream>
+
+#include "cache/l1_cache.hh"
+#include "nvm/memory_controller.hh"
+#include "persist/persist_controller.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace persim::cache
+{
+
+namespace
+{
+std::uint64_t
+coreBit(CoreId core)
+{
+    return std::uint64_t{1} << core;
+}
+} // namespace
+
+LlcBank::LlcBank(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
+                 unsigned nodeId, unsigned x, unsigned y, unsigned bankIdx,
+                 const LlcBankConfig &cfg, persist::PersistController &pc)
+    : SimObject(name, eq),
+      _bankIdx(bankIdx),
+      _cfg(cfg),
+      _pc(pc),
+      _stats(name),
+      _ni(name + ".ni", mesh, nodeId, x, y),
+      _array(name + ".array", cfg.geometry, cfg.setShift),
+      _flushEngine(name + ".flushEngine"),
+      _requests(&_stats, "requests", "requests received from L1s"),
+      _readHits(&_stats, "readGrants", "read grants sent"),
+      _writeHits(&_stats, "writeGrants", "write (ownership) grants sent"),
+      _missesToMemory(&_stats, "missesToMemory", "fills from NVRAM"),
+      _evictions(&_stats, "evictions", "LLC victim evictions"),
+      _evictionsDirty(&_stats, "evictionsDirty",
+                      "dirty (untagged) victims written to NVRAM"),
+      _recalls(&_stats, "recalls", "owner-L1 recalls"),
+      _invsSent(&_stats, "invalidationsSent",
+                "sharer invalidations sent"),
+      _flushEpochMsgs(&_stats, "flushEpochMsgs",
+                      "FlushEpoch messages processed"),
+      _bankAcksSent(&_stats, "bankAcksSent", "BankAck messages sent"),
+      _persistCmpSeen(&_stats, "persistCmpSeen",
+                      "PersistCMP broadcasts received"),
+      _linesFlushed(&_stats, "linesFlushed",
+                    "epoch lines flushed to memory"),
+      _victimRetries(&_stats, "victimRetries",
+                     "miss fills retried because all ways were pinned")
+{
+}
+
+// ---------------------------------------------------------------------
+// Request path
+// ---------------------------------------------------------------------
+
+void
+LlcBank::handleRequest(Addr addr, bool isWrite, CoreId core)
+{
+    ++_requests;
+    addr = lineAlign(addr);
+    auto &q = _busy[addr];
+    q.push_back(Txn{addr, isWrite, core});
+    if (q.size() == 1)
+        beginIfIdle(addr);
+}
+
+void
+LlcBank::beginIfIdle(Addr addr)
+{
+    scheduleIn(_cfg.accessLatency,
+               [this, addr] { lookupStage(_busy.at(addr).front()); });
+}
+
+void
+LlcBank::lookupStage(Txn txn)
+{
+    CacheLine *line = _array.find(txn.addr);
+    if (line && line->pinned) {
+        // An eviction owns the line right now; retry once it is done.
+        _pinWaiters[txn.addr].push_back([this, txn] { lookupStage(txn); });
+        return;
+    }
+    if (line) {
+        line->pinned = true;
+        hitPath(txn);
+    } else {
+        missPath(txn);
+    }
+}
+
+void
+LlcBank::hitPath(Txn txn)
+{
+    CacheLine *line = _array.find(txn.addr);
+    simAssert(line, name(), ": hitPath lost the line");
+    simAssert(line->owner != txn.core, name(),
+              ": request from the current owner");
+    if (line->owner != kNoCore) {
+        ++_recalls;
+        const CoreId owner = line->owner;
+        L1Cache *ownerL1 = &_pc.l1(owner);
+        const unsigned myNode = _ni.nodeId();
+        _ni.sendControl(ownerL1->nodeId(),
+                        [this, txn, ownerL1, myNode] {
+                            ownerL1->handleDowngrade(
+                                txn.addr, txn.isWrite, myNode,
+                                [this, txn] { resolveConflictStage(txn); });
+                        });
+        return;
+    }
+    resolveConflictStage(txn);
+}
+
+void
+LlcBank::resolveConflictStage(Txn txn)
+{
+    simAssert(_array.find(txn.addr), name(),
+              ": line vanished before conflict resolution");
+    _pc.resolveBankAccess(_bankIdx, txn.core, txn.isWrite, txn.addr,
+                          [this, txn] { proceedStage(txn); });
+}
+
+void
+LlcBank::proceedStage(Txn txn)
+{
+    CacheLine *line = _array.find(txn.addr);
+    simAssert(line, name(), ": line vanished before grant");
+    if (!txn.isWrite) {
+        grantRead(txn);
+        return;
+    }
+    const std::uint64_t invMask = line->sharers & ~coreBit(txn.core);
+    if (invMask == 0) {
+        grantWrite(txn);
+        return;
+    }
+    auto remaining =
+        std::make_shared<unsigned>(std::popcount(invMask));
+    const unsigned myNode = _ni.nodeId();
+    for (unsigned c = 0; c < 64; ++c) {
+        if (!(invMask & (std::uint64_t{1} << c)))
+            continue;
+        ++_invsSent;
+        L1Cache *sharer = &_pc.l1(static_cast<CoreId>(c));
+        _ni.sendControl(
+            sharer->nodeId(), [this, txn, sharer, myNode, remaining] {
+                sharer->handleInvalidate(
+                    txn.addr, myNode, [this, txn, remaining] {
+                        if (--*remaining == 0)
+                            grantWrite(txn);
+                    });
+            });
+    }
+}
+
+void
+LlcBank::grantWrite(Txn txn)
+{
+    CacheLine *line = _array.find(txn.addr);
+    simAssert(line, name(), ": line vanished at write grant");
+    if (_pc.writeGrantNeedsResolve(_bankIdx, txn.core, txn.addr)) {
+        // The requester's epoch advanced while this transaction was in
+        // flight; resolve the (new) intra-thread conflict and retry.
+        _pc.resolveBankAccess(_bankIdx, txn.core, txn.isWrite, txn.addr,
+                              [this, txn] { grantWrite(txn); });
+        return;
+    }
+    ++_writeHits;
+    tracef("Evict", *this, "grantWrite 0x", std::hex, txn.addr,
+           std::dec, " to core ", txn.core);
+    persist::IdtEntry tag =
+        _pc.onBankGrantWrite(_bankIdx, txn.core, *line);
+    line->owner = txn.core;
+    line->sharers = 0;
+    _array.touch(*line);
+    L1Cache *req = &_pc.l1(txn.core);
+    const unsigned myNode = _ni.nodeId();
+    // The line stays pinned/busy until the requester confirms the fill
+    // (Unblock, as in Ruby's MESI protocols): the mesh is unordered, so
+    // without it an eviction could race ahead of the grant and break
+    // inclusion.
+    _ni.sendData(req->nodeId(), [this, req, txn, tag, myNode] {
+        req->handleFillGrant(txn.addr, CoherenceState::Modified, tag.core,
+                             tag.epoch);
+        req->ni().sendControl(myNode, [this, txn] { finish(txn); });
+    });
+}
+
+void
+LlcBank::grantRead(Txn txn)
+{
+    CacheLine *line = _array.find(txn.addr);
+    simAssert(line, name(), ": line vanished at read grant");
+    ++_readHits;
+    const bool exclusive = line->sharers == 0 &&
+                           line->owner == kNoCore && !line->tagged();
+    CoherenceState granted;
+    if (exclusive) {
+        line->owner = txn.core;
+        granted = CoherenceState::Exclusive;
+    } else {
+        line->sharers |= coreBit(txn.core);
+        granted = CoherenceState::Shared;
+    }
+    _array.touch(*line);
+    L1Cache *req = &_pc.l1(txn.core);
+    const unsigned myNode = _ni.nodeId();
+    _ni.sendData(req->nodeId(), [this, req, txn, granted, myNode] {
+        req->handleFillGrant(txn.addr, granted, kNoCore, kNoEpoch);
+        req->ni().sendControl(myNode, [this, txn] { finish(txn); });
+    });
+}
+
+void
+LlcBank::missPath(Txn txn)
+{
+    CacheLine *line = _array.find(txn.addr);
+    if (line) {
+        // Extremely defensive: inclusion means nobody else fills, but a
+        // retried miss may observe a line filled by an earlier stage.
+        if (line->pinned) {
+            _pinWaiters[txn.addr].push_back(
+                [this, txn] { lookupStage(txn); });
+            return;
+        }
+        line->pinned = true;
+        hitPath(txn);
+        return;
+    }
+    CacheLine *victim =
+        _array.victimFor(txn.addr, _pc.config().avoidTaggedVictims);
+    if (!victim) {
+        ++_victimRetries;
+        scheduleIn(8, [this, txn] { missPath(txn); });
+        return;
+    }
+    if (victim->valid()) {
+        victim->pinned = true;
+        const Addr vaddr = victim->addr;
+        ++_evictions;
+        evictVictim(vaddr, [this, txn] { missPath(txn); });
+        return;
+    }
+    victim->pinned = true; // claim the invalid way for our fill
+    ++_missesToMemory;
+    nvm::MemoryController *mc = &_pc.mcFor(txn.addr);
+    nvm::ReadReq req;
+    req.addr = txn.addr;
+    req.replyTo = _ni.nodeId();
+    req.onData = [this, txn, victim] { fillAndGrant(txn, victim); };
+    _ni.sendControl(mc->nodeId(), [mc, req = std::move(req)]() mutable {
+        mc->handleRead(std::move(req));
+    });
+}
+
+void
+LlcBank::fillAndGrant(Txn txn, CacheLine *way)
+{
+    simAssert(!way->valid(), name(), ": fill way got claimed");
+    tracef("Evict", *this, "fill 0x", std::hex, txn.addr, std::dec,
+           " for core ", txn.core);
+    _array.fill(*way, txn.addr, CoherenceState::Shared);
+    way->pinned = true;
+    if (txn.isWrite)
+        grantWrite(txn);
+    else
+        grantRead(txn);
+}
+
+void
+LlcBank::finish(Txn txn)
+{
+    unpin(txn.addr);
+    auto it = _busy.find(txn.addr);
+    simAssert(it != _busy.end() && !it->second.empty(),
+              name(), ": finish without an active transaction");
+    it->second.pop_front();
+    if (it->second.empty())
+        _busy.erase(it);
+    else
+        beginIfIdle(txn.addr);
+}
+
+void
+LlcBank::unpin(Addr addr)
+{
+    CacheLine *line = _array.find(addr);
+    if (line)
+        line->pinned = false;
+    auto it = _pinWaiters.find(addr);
+    if (it == _pinWaiters.end())
+        return;
+    auto waiters = std::move(it->second);
+    _pinWaiters.erase(it);
+    for (auto &w : waiters)
+        w();
+}
+
+// ---------------------------------------------------------------------
+// Eviction (with persist-ordering constraints, §2.1/§3.2)
+// ---------------------------------------------------------------------
+
+void
+LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
+{
+    CacheLine *line = _array.find(vaddr);
+    simAssert(line && line->pinned, name(), ": eviction lost its victim");
+    tracef("Evict", *this, "evictVictim 0x", std::hex, vaddr, std::dec,
+           " owner=", line->owner, " sharers=", line->sharers,
+           " tagged=", line->tagged(), " dirty=", line->dirty);
+
+    if (line->owner != kNoCore) {
+        ++_recalls;
+        L1Cache *ownerL1 = &_pc.l1(line->owner);
+        const unsigned myNode = _ni.nodeId();
+        _ni.sendControl(ownerL1->nodeId(), [this, vaddr, ownerL1, myNode,
+                                            cont = std::move(cont)] {
+            ownerL1->handleDowngrade(vaddr, /*forWrite=*/true, myNode,
+                                     [this, vaddr, cont] {
+                                         evictVictim(vaddr, cont);
+                                     });
+        });
+        return;
+    }
+    if (line->sharers != 0) {
+        const std::uint64_t mask = line->sharers;
+        auto remaining = std::make_shared<unsigned>(std::popcount(mask));
+        const unsigned myNode = _ni.nodeId();
+        auto shared_cont =
+            std::make_shared<std::function<void()>>(std::move(cont));
+        for (unsigned c = 0; c < 64; ++c) {
+            if (!(mask & (std::uint64_t{1} << c)))
+                continue;
+            ++_invsSent;
+            L1Cache *sharer = &_pc.l1(static_cast<CoreId>(c));
+            _ni.sendControl(sharer->nodeId(), [this, vaddr, sharer, myNode,
+                                               remaining, shared_cont] {
+                sharer->handleInvalidate(
+                    vaddr, myNode, [this, vaddr, remaining, shared_cont] {
+                        if (--*remaining == 0) {
+                            CacheLine *l = _array.find(vaddr);
+                            simAssert(l, name(), ": victim vanished");
+                            l->sharers = 0;
+                            evictVictim(vaddr, *shared_cont);
+                        }
+                    });
+            });
+        }
+        return;
+    }
+    if (line->tagged()) {
+        // Replacement conflict: epochs up to the victim's must persist
+        // before this line may leave the volatile domain.
+        _pc.beforeLlcEviction(_bankIdx, *line,
+                              [this, vaddr, cont = std::move(cont)] {
+                                  evictVictim(vaddr, cont);
+                              });
+        return;
+    }
+    if (line->dirty) {
+        ++_evictionsDirty;
+        // Untagged dirty data persists naturally, with no ordering
+        // constraint and nobody waiting for the ack.
+        nvm::MemoryController *mc = &_pc.mcFor(vaddr);
+        nvm::WriteReq req;
+        req.addr = vaddr;
+        req.replyTo = _ni.nodeId();
+        _ni.sendData(mc->nodeId(), [mc, req = std::move(req)]() mutable {
+            mc->handleWrite(std::move(req));
+        });
+    }
+    tracef("Evict", *this, "drop 0x", std::hex, vaddr, std::dec);
+    line->invalidate();
+    // Wake requests that blocked on the pinned victim.
+    auto it = _pinWaiters.find(vaddr);
+    if (it != _pinWaiters.end()) {
+        auto waiters = std::move(it->second);
+        _pinWaiters.erase(it);
+        for (auto &w : waiters)
+            w();
+    }
+    cont();
+}
+
+// ---------------------------------------------------------------------
+// Synchronous writeback acceptance
+// ---------------------------------------------------------------------
+
+void
+LlcBank::acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
+                         WritebackKind kind)
+{
+    (void)dirty; // the caller already merged dirty data and moved tags
+    CacheLine *line = _array.find(addr);
+    simAssert(line, name(), ": writeback for absent line (inclusion)");
+    switch (kind) {
+      case WritebackKind::Eviction:
+      case WritebackKind::DowngradeToInvalid:
+        if (line->owner == fromCore)
+            line->owner = kNoCore;
+        line->sharers &= ~coreBit(fromCore);
+        break;
+      case WritebackKind::DowngradeToShared:
+        if (line->owner == fromCore)
+            line->owner = kNoCore;
+        line->sharers |= coreBit(fromCore);
+        break;
+      case WritebackKind::FlushRetain:
+        break;
+    }
+    _array.touch(*line);
+}
+
+// ---------------------------------------------------------------------
+// Epoch-flush protocol
+// ---------------------------------------------------------------------
+
+void
+LlcBank::handleFlushEpoch(CoreId core, EpochId epoch)
+{
+    ++_flushEpochMsgs;
+    const std::vector<Addr> lines = _flushEngine.takeAll(core, epoch);
+    FlushJob &job = _flushJobs[jobKey(core, epoch)];
+    simAssert(!job.walked, name(), ": duplicate FlushEpoch");
+    job.outstanding += static_cast<std::uint32_t>(lines.size());
+
+    const Tick interval = _pc.config().flushIssueInterval;
+    Tick offset = 0;
+    for (Addr addr : lines) {
+        scheduleIn(offset, [this, core, epoch, addr] {
+            ++_linesFlushed;
+            _pc.arbiter(core).onFlushIssued(epoch);
+            nvm::MemoryController *mc = &_pc.mcFor(addr);
+            nvm::WriteReq req;
+            req.addr = addr;
+            req.core = core;
+            req.epoch = epoch;
+            req.replyTo = _ni.nodeId();
+            req.onPersist = [this, core, epoch, addr] {
+                onFlushLineAck(core, epoch, addr);
+            };
+            _ni.sendData(mc->nodeId(),
+                         [mc, req = std::move(req)]() mutable {
+                             mc->handleWrite(std::move(req));
+                         });
+        });
+        offset += interval;
+    }
+    scheduleIn(offset, [this, core, epoch] {
+        _flushJobs[jobKey(core, epoch)].walked = true;
+        maybeBankAck(core, epoch);
+    });
+}
+
+void
+LlcBank::onFlushLineAck(CoreId core, EpochId epoch, Addr addr)
+{
+    CacheLine *line = _array.find(addr);
+    if (line && line->epochCore == core && line->epochId == epoch) {
+        line->clearTag();
+        line->dirty = false;
+        if (_pc.config().invalidatingFlush && !line->pinned &&
+            line->owner == kNoCore && line->sharers == 0) {
+            // clflush semantics: the flushed line leaves the hierarchy.
+            line->invalidate();
+        }
+    }
+    _pc.arbiter(core).onLinePersisted(epoch);
+    auto it = _flushJobs.find(jobKey(core, epoch));
+    simAssert(it != _flushJobs.end(), name(), ": stray flush ack");
+    simAssert(it->second.outstanding > 0, name(), ": ack underflow");
+    --it->second.outstanding;
+    maybeBankAck(core, epoch);
+}
+
+void
+LlcBank::maybeBankAck(CoreId core, EpochId epoch)
+{
+    auto it = _flushJobs.find(jobKey(core, epoch));
+    if (it == _flushJobs.end() || !it->second.walked ||
+        it->second.outstanding != 0) {
+        return;
+    }
+    _flushJobs.erase(it);
+    ++_bankAcksSent;
+
+    persist::EpochArbiter *arb = &_pc.arbiter(core);
+    _ni.sendControl(_pc.l1(core).nodeId(),
+                    [arb, epoch] { arb->onBankAck(epoch); });
+
+    if (!_pc.config().useArbiter) {
+        // §4.1 strawman: every bank also broadcasts its completion to
+        // every other bank — O(n^2) messages per flushed epoch.
+        for (unsigned b = 0; b < _pc.numBanks(); ++b) {
+            if (b == _bankIdx)
+                continue;
+            _ni.sendControl(_pc.bank(b).nodeId(), [] {});
+        }
+    }
+}
+
+void
+LlcBank::debugDump(std::ostream &os)
+{
+    if (_busy.empty() && _pinWaiters.empty() && _flushJobs.empty())
+        return;
+    os << name() << ":";
+    for (const auto &[addr, q] : _busy) {
+        os << " busy[0x" << std::hex << addr << std::dec << "]x"
+           << q.size() << "(core " << q.front().core
+           << (q.front().isWrite ? " W" : " R") << ")";
+    }
+    for (const auto &[addr, w] : _pinWaiters) {
+        os << " pinWait[0x" << std::hex << addr << std::dec << "]x"
+           << w.size();
+    }
+    for (const auto &[key, job] : _flushJobs) {
+        os << " flushJob[" << key << "] out=" << job.outstanding
+           << " walked=" << job.walked;
+    }
+    os << "\n";
+}
+
+void
+LlcBank::handlePersistCmp(CoreId core, EpochId epoch)
+{
+    (void)core;
+    (void)epoch;
+    ++_persistCmpSeen;
+}
+
+} // namespace persim::cache

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * One bank of the shared, inclusive, multi-banked last-level cache.
+ */
+
+#ifndef PERSIM_CACHE_LLC_BANK_HH
+#define PERSIM_CACHE_LLC_BANK_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "noc/network_interface.hh"
+#include "persist/flush_engine.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace persim::persist
+{
+class PersistController;
+} // namespace persim::persist
+
+namespace persim::cache
+{
+
+enum class WritebackKind; // see l1_cache.hh
+
+/** LLC bank parameters (Table 1: 1MB x 32 tiles, 16-way). */
+struct LlcBankConfig
+{
+    CacheGeometry geometry{1024 * 1024, 16};
+    Tick accessLatency = 30;
+    /** Bits to strip before set indexing (log2 of the bank count). */
+    unsigned setShift = 5;
+};
+
+/**
+ * One LLC bank: directory home for its address slice, with the epoch-tag
+ * extension and a flush engine (§4.1).
+ *
+ * Requests are serialized per line; each active transaction pins the
+ * lines it operates on, so evictions from other transactions cannot
+ * interfere. State carried by writebacks updates synchronously (the
+ * mesh charges bandwidth), so the directory is always exact and the
+ * transaction code only needs to re-validate, never to reconcile races.
+ */
+class LlcBank : public SimObject
+{
+  public:
+    LlcBank(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
+            unsigned nodeId, unsigned x, unsigned y, unsigned bankIdx,
+            const LlcBankConfig &cfg, persist::PersistController &pc);
+
+    unsigned nodeId() const { return _ni.nodeId(); }
+    unsigned bankIdx() const { return _bankIdx; }
+
+    // ------------------------------------------------------------------
+    // Request path (invoked at mesh delivery from an L1)
+    // ------------------------------------------------------------------
+
+    /** A load/store request from @p core for @p addr. */
+    void handleRequest(Addr addr, bool isWrite, CoreId core);
+
+    // ------------------------------------------------------------------
+    // Synchronous state transfer from L1s
+    // ------------------------------------------------------------------
+
+    /**
+     * Accept an L1 writeback / eviction notice for @p addr and update
+     * the directory according to @p kind. Persist-tag movement is done
+     * by the caller through the PersistController.
+     */
+    void acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
+                         WritebackKind kind);
+
+    // ------------------------------------------------------------------
+    // Epoch-flush protocol (§4.1)
+    // ------------------------------------------------------------------
+
+    /**
+     * FlushEpoch(core, epoch) arrived: flush every line this bank holds
+     * for that epoch to the memory controllers, collect PersistAcks and
+     * send a BankAck to the arbiter.
+     */
+    void handleFlushEpoch(CoreId core, EpochId epoch);
+
+    /** PersistCMP broadcast (bookkeeping/stats only in this model). */
+    void handlePersistCmp(CoreId core, EpochId epoch);
+
+    persist::FlushEngine &flushEngine() { return _flushEngine; }
+    CacheLine *find(Addr addr) { return _array.find(addr); }
+    CacheArray &array() { return _array; }
+    StatGroup &stats() { return _stats; }
+
+    std::uint64_t requests() const { return _requests.value(); }
+
+    /** Dump in-flight transaction state (deadlock diagnosis). */
+    void debugDump(std::ostream &os);
+
+  private:
+    struct Txn
+    {
+        Addr addr = 0;
+        bool isWrite = false;
+        CoreId core = kNoCore;
+    };
+
+    struct FlushJob
+    {
+        std::uint32_t outstanding = 0;
+        bool walked = false;
+    };
+
+    // Transaction stages; every stage re-reads line state.
+    void beginIfIdle(Addr addr);
+    void lookupStage(Txn txn);
+    void hitPath(Txn txn);
+    void resolveConflictStage(Txn txn);
+    void proceedStage(Txn txn);
+    void grantWrite(Txn txn);
+    void grantRead(Txn txn);
+    void missPath(Txn txn);
+    void fillAndGrant(Txn txn, CacheLine *way);
+    void finish(Txn txn);
+
+    /** Evict the (pinned) line at @p vaddr, honouring persist order. */
+    void evictVictim(Addr vaddr, std::function<void()> cont);
+
+    /** Unpin addr's line if present, and wake pin-waiters. */
+    void unpin(Addr addr);
+
+    /** PersistAck for a flushed line of (core, epoch). */
+    void onFlushLineAck(CoreId core, EpochId epoch, Addr addr);
+    void maybeBankAck(CoreId core, EpochId epoch);
+
+    unsigned _bankIdx;
+    LlcBankConfig _cfg;
+    persist::PersistController &_pc;
+    StatGroup _stats;
+    noc::NetworkInterface _ni;
+    CacheArray _array;
+    persist::FlushEngine _flushEngine;
+
+    /** Per-line transaction queues; front is active. */
+    std::unordered_map<Addr, std::deque<Txn>> _busy;
+
+    /** Waiters blocked on a pinned line (re-run when unpinned). */
+    std::unordered_map<Addr, std::vector<std::function<void()>>>
+        _pinWaiters;
+
+    /** Outstanding flush-line acks per (core, epoch). */
+    std::unordered_map<std::uint64_t, FlushJob> _flushJobs;
+
+    static std::uint64_t
+    jobKey(CoreId c, EpochId e)
+    {
+        return (static_cast<std::uint64_t>(c) << 48) ^ e;
+    }
+
+    Scalar _requests;
+    Scalar _readHits;
+    Scalar _writeHits;
+    Scalar _missesToMemory;
+    Scalar _evictions;
+    Scalar _evictionsDirty;
+    Scalar _recalls;
+    Scalar _invsSent;
+    Scalar _flushEpochMsgs;
+    Scalar _bankAcksSent;
+    Scalar _persistCmpSeen;
+    Scalar _linesFlushed;
+    Scalar _victimRetries;
+};
+
+} // namespace persim::cache
+
+#endif // PERSIM_CACHE_LLC_BANK_HH

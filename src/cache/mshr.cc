@@ -1,0 +1,47 @@
+#include "cache/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::cache
+{
+
+void
+MshrFile::allocate(Addr addr, bool forWrite, PendingAccess acc)
+{
+    addr = lineAlign(addr);
+    simAssert(!full(), "MSHR allocate when full");
+    simAssert(!_entries.contains(addr), "MSHR double allocate");
+    Entry &e = _entries[addr];
+    e.forWrite = forWrite;
+    e.waiting.push_back(std::move(acc));
+}
+
+void
+MshrFile::merge(Addr addr, PendingAccess acc)
+{
+    addr = lineAlign(addr);
+    auto it = _entries.find(addr);
+    simAssert(it != _entries.end(), "MSHR merge without entry");
+    it->second.waiting.push_back(std::move(acc));
+}
+
+bool
+MshrFile::forWrite(Addr addr) const
+{
+    auto it = _entries.find(lineAlign(addr));
+    simAssert(it != _entries.end(), "MSHR forWrite without entry");
+    return it->second.forWrite;
+}
+
+std::vector<PendingAccess>
+MshrFile::release(Addr addr)
+{
+    addr = lineAlign(addr);
+    auto it = _entries.find(addr);
+    simAssert(it != _entries.end(), "MSHR release without entry");
+    std::vector<PendingAccess> out = std::move(it->second.waiting);
+    _entries.erase(it);
+    return out;
+}
+
+} // namespace persim::cache

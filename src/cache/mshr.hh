@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Miss-status holding registers for the L1 caches.
+ */
+
+#ifndef PERSIM_CACHE_MSHR_HH
+#define PERSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace persim::cache
+{
+
+/** One memory access waiting on an MSHR. */
+struct PendingAccess
+{
+    bool isWrite = false;
+    CoreId core = kNoCore;
+    std::function<void()> onComplete;
+};
+
+/**
+ * The MSHR file: at most one outstanding request per line; later accesses
+ * to the same line merge into the existing entry and are replayed when
+ * the fill (or upgrade grant) returns.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned capacity) : _capacity(capacity) {}
+
+    /** True if a request for @p addr is outstanding. */
+    bool has(Addr addr) const { return _entries.contains(lineAlign(addr)); }
+
+    /** True if no new entry can be allocated. */
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /**
+     * Allocate an entry for @p addr (must not exist) and queue @p acc.
+     *
+     * @param forWrite Whether the outstanding request asks for ownership.
+     */
+    void allocate(Addr addr, bool forWrite, PendingAccess acc);
+
+    /**
+     * Merge @p acc into the existing entry for @p addr (must exist).
+     * A merged write does not upgrade the outstanding request; the replay
+     * path re-issues an upgrade if the fill grants only Shared.
+     */
+    void merge(Addr addr, PendingAccess acc);
+
+    /** Whether the outstanding request for @p addr asks for ownership. */
+    bool forWrite(Addr addr) const;
+
+    /**
+     * Release the entry for @p addr and return its queued accesses in
+     * arrival order.
+     */
+    std::vector<PendingAccess> release(Addr addr);
+
+    std::size_t size() const { return _entries.size(); }
+    unsigned capacity() const { return _capacity; }
+
+  private:
+    struct Entry
+    {
+        bool forWrite = false;
+        std::vector<PendingAccess> waiting;
+    };
+
+    unsigned _capacity;
+    std::unordered_map<Addr, Entry> _entries;
+};
+
+} // namespace persim::cache
+
+#endif // PERSIM_CACHE_MSHR_HH

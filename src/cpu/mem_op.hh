@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The memory-operation stream a workload feeds to a core.
+ */
+
+#ifndef PERSIM_CPU_MEM_OP_HH
+#define PERSIM_CPU_MEM_OP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace persim::cpu
+{
+
+/** One operation of a workload's instruction stream. */
+struct MemOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Load,    // blocking read of `addr`
+        Store,   // buffered write of `addr`
+        Barrier, // persist barrier (epoch boundary)
+        Compute, // `cycles` of non-memory work
+        Halt,    // thread finished
+    };
+
+    Kind kind = Kind::Halt;
+    Addr addr = 0;
+    std::uint32_t cycles = 0;
+
+    static MemOp load(Addr a) { return {Kind::Load, a, 0}; }
+    static MemOp store(Addr a) { return {Kind::Store, a, 0}; }
+    static MemOp barrier() { return {Kind::Barrier, 0, 0}; }
+    static MemOp compute(std::uint32_t c) { return {Kind::Compute, 0, c}; }
+    static MemOp halt() { return {Kind::Halt, 0, 0}; }
+};
+
+} // namespace persim::cpu
+
+#endif // PERSIM_CPU_MEM_OP_HH

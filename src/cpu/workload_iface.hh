@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The execution-driven workload interface.
+ */
+
+#ifndef PERSIM_CPU_WORKLOAD_IFACE_HH
+#define PERSIM_CPU_WORKLOAD_IFACE_HH
+
+#include <cstdint>
+
+#include "cpu/mem_op.hh"
+#include "sim/types.hh"
+
+namespace persim::cpu
+{
+
+/**
+ * A per-thread workload: the core asks for the next operation whenever it
+ * is ready to issue one.
+ *
+ * Workloads are execution-driven, not trace-driven: next() may depend on
+ * simulated time and on the completion feedback delivered through
+ * onLoadComplete(), which is how spinlocks and other timing-dependent
+ * behaviour (workload/lock_manager.hh) are expressed.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the thread's next operation. Called once per issue. */
+    virtual MemOp next(Tick now) = 0;
+
+    /** Timing feedback: the load of @p addr completed at @p now. */
+    virtual void onLoadComplete(Addr addr, Tick now)
+    {
+        (void)addr;
+        (void)now;
+    }
+
+    /** Completed application-level transactions (throughput metric). */
+    virtual std::uint64_t transactions() const { return 0; }
+};
+
+} // namespace persim::cpu
+
+#endif // PERSIM_CPU_WORKLOAD_IFACE_HH

@@ -1,0 +1,28 @@
+#include "cpu/write_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::cpu
+{
+
+void
+WriteBuffer::push(Addr addr)
+{
+    simAssert(!full(), "write-buffer overflow");
+    _fifo.push_back(Entry{lineAlign(addr)});
+    ++_lineCounts[lineNum(addr)];
+}
+
+void
+WriteBuffer::pop()
+{
+    simAssert(!empty(), "write-buffer underflow");
+    const Addr line = lineNum(_fifo.front().addr);
+    auto it = _lineCounts.find(line);
+    simAssert(it != _lineCounts.end(), "write-buffer count corrupt");
+    if (--it->second == 0)
+        _lineCounts.erase(it);
+    _fifo.pop_front();
+}
+
+} // namespace persim::cpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The core's TSO store write buffer (32 entries in Table 1).
+ */
+
+#ifndef PERSIM_CPU_WRITE_BUFFER_HH
+#define PERSIM_CPU_WRITE_BUFFER_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace persim::cpu
+{
+
+/**
+ * A FIFO store buffer.
+ *
+ * Stores retire into the buffer immediately and drain to the L1 in
+ * program order (TSO); loads snoop the buffer for forwarding. Entries
+ * record the epoch the store was tagged with at execution time.
+ */
+class WriteBuffer
+{
+  public:
+    struct Entry
+    {
+        Addr addr = 0;
+    };
+
+    explicit WriteBuffer(unsigned capacity) : _capacity(capacity) {}
+
+    bool full() const { return _fifo.size() >= _capacity; }
+    bool empty() const { return _fifo.empty(); }
+    std::size_t size() const { return _fifo.size(); }
+    unsigned capacity() const { return _capacity; }
+
+    /** Append a store; the buffer must not be full. */
+    void push(Addr addr);
+
+    /** Oldest store (drain candidate); buffer must be non-empty. */
+    const Entry &front() const { return _fifo.front(); }
+
+    /** Remove the oldest store after it performed. */
+    void pop();
+
+    /** True if a buffered store targets @p addr's line (forwarding). */
+    bool containsLine(Addr addr) const
+    {
+        return _lineCounts.contains(lineNum(addr));
+    }
+
+  private:
+    unsigned _capacity;
+    std::deque<Entry> _fifo;
+    std::unordered_map<Addr, unsigned> _lineCounts;
+};
+
+} // namespace persim::cpu
+
+#endif // PERSIM_CPU_WRITE_BUFFER_HH

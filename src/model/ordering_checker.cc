@@ -1,0 +1,230 @@
+#include "model/ordering_checker.hh"
+
+#include <sstream>
+
+#include "persist/undo_log.hh"
+#include "sim/logging.hh"
+
+namespace persim::model
+{
+
+OrderingChecker::OrderingChecker(unsigned numCores, bool keepLog)
+    : _numCores(numCores), _keepLog(keepLog), _nextUnsettled(numCores, 0)
+{
+}
+
+void
+OrderingChecker::violation(std::string what)
+{
+    // Cap the list so a systematic bug doesn't eat all memory.
+    if (_violations.size() < 256)
+        _violations.push_back(std::move(what));
+}
+
+bool
+OrderingChecker::isSettled(CoreId core, EpochId epoch) const
+{
+    return epoch < _nextUnsettled[core];
+}
+
+OrderingChecker::EpochState &
+OrderingChecker::stateFor(CoreId core, EpochId epoch)
+{
+    return _live[key(core, epoch)];
+}
+
+void
+OrderingChecker::onStoreTagged(CoreId core, EpochId epoch, Addr addr)
+{
+    stateFor(core, epoch).pending.insert(lineAlign(addr));
+}
+
+void
+OrderingChecker::onSteal(CoreId oldCore, EpochId oldEpoch, CoreId newCore,
+                         EpochId newEpoch, Addr addr,
+                         bool srcFlushInFlight)
+{
+    addr = lineAlign(addr);
+    if (!srcFlushInFlight) {
+        // The old incarnation will never persist: waive the line.
+        auto it = _live.find(key(oldCore, oldEpoch));
+        if (it == _live.end() || it->second.pending.erase(addr) == 0) {
+            std::ostringstream os;
+            os << "steal of line 0x" << std::hex << addr << std::dec
+               << " that core " << oldCore << " epoch " << oldEpoch
+               << " does not own";
+            violation(os.str());
+        } else {
+            trySettle(oldCore);
+        }
+    }
+    // The overwrite orders the new epoch after the old one.
+    onDependence(newCore, newEpoch, oldCore, oldEpoch);
+}
+
+void
+OrderingChecker::onDependence(CoreId depCore, EpochId depEpoch,
+                              CoreId srcCore, EpochId srcEpoch)
+{
+    if (isSettled(srcCore, srcEpoch))
+        return;
+    ++_dependenceEdges;
+    stateFor(depCore, depEpoch).preds.push_back(key(srcCore, srcEpoch));
+}
+
+void
+OrderingChecker::onSplit(CoreId core, EpochId prefix, EpochId remainder)
+{
+    (void)core;
+    (void)prefix;
+    (void)remainder;
+    // Splits create a fresh epoch id; program order covers the rest.
+}
+
+void
+OrderingChecker::onPersist(Tick when, Addr addr, CoreId core,
+                           EpochId epoch, bool isLog)
+{
+    ++_persists;
+    if (_keepLog)
+        _log.push_back(PersistEvent{when, addr, core, epoch, isLog});
+    if (core == kNoCore || epoch == kNoEpoch)
+        return; // untagged write (natural eviction, write-through SP):
+                // unordered by design
+
+    auto it = _live.find(key(core, epoch));
+
+    if (isLog) {
+        // Undo-log rule: old values persist before any new data of the
+        // epoch does. Checkpoint lines are exempt (protected by the log).
+        const bool isCheckpoint =
+            addr >= persist::UndoLog::kCheckpointBase;
+        if (!isCheckpoint && it != _live.end() &&
+            it->second.dataStarted) {
+            std::ostringstream os;
+            os << "undo-log write of core " << core << " epoch " << epoch
+               << " persisted after the epoch's data began";
+            violation(os.str());
+        }
+        return;
+    }
+
+    ++_taggedPersists;
+    if (isSettled(core, epoch)) {
+        std::ostringstream os;
+        os << "line 0x" << std::hex << addr << std::dec
+           << " persisted after core " << core << " epoch " << epoch
+           << " settled";
+        violation(os.str());
+        return;
+    }
+    if (it == _live.end()) {
+        std::ostringstream os;
+        os << "persist of line 0x" << std::hex << addr << std::dec
+           << " for unknown epoch (core " << core << ", epoch " << epoch
+           << ")";
+        violation(os.str());
+        return;
+    }
+    EpochState &st = it->second;
+    st.dataStarted = true;
+
+    // THE invariant (§4.1): every happens-before predecessor is settled.
+    if (_nextUnsettled[core] != epoch) {
+        std::ostringstream os;
+        os << "line of core " << core << " epoch " << epoch
+           << " persisted at tick " << when << " before epoch "
+           << _nextUnsettled[core] << " of the same core settled";
+        violation(os.str());
+    }
+    for (std::uint64_t p : st.preds) {
+        const CoreId pc = keyCore(p);
+        const EpochId pe = keyEpoch(p);
+        if (!isSettled(pc, pe)) {
+            std::ostringstream os;
+            os << "line of core " << core << " epoch " << epoch
+               << " persisted before dependence source (core " << pc
+               << " epoch " << pe << ") settled";
+            violation(os.str());
+        }
+    }
+
+    if (st.pending.erase(lineAlign(addr)) == 0) {
+        std::ostringstream os;
+        os << "unexpected persist of line 0x" << std::hex << addr
+           << std::dec << " for core " << core << " epoch " << epoch;
+        violation(os.str());
+    }
+    trySettle(core);
+}
+
+void
+OrderingChecker::onEpochPersisted(CoreId core, EpochId epoch, Tick when)
+{
+    (void)when;
+    EpochState &st = stateFor(core, epoch);
+    if (!st.pending.empty()) {
+        std::ostringstream os;
+        os << "core " << core << " epoch " << epoch
+           << " declared persisted with " << st.pending.size()
+           << " lines still volatile";
+        violation(os.str());
+    }
+    st.declared = true;
+    trySettle(core);
+}
+
+void
+OrderingChecker::trySettle(CoreId core)
+{
+    while (true) {
+        const EpochId e = _nextUnsettled[core];
+        auto it = _live.find(key(core, e));
+        if (it == _live.end())
+            return;
+        EpochState &st = it->second;
+        if (!st.declared || !st.pending.empty())
+            return;
+        bool blocked = false;
+        for (std::uint64_t p : st.preds) {
+            const CoreId pc = keyCore(p);
+            const EpochId pe = keyEpoch(p);
+            if (!isSettled(pc, pe)) {
+                _waiters[p].push_back(core);
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked)
+            return;
+        const std::uint64_t k = key(core, e);
+        _live.erase(it);
+        _nextUnsettled[core] = e + 1;
+        ++_epochsSettled;
+        auto wit = _waiters.find(k);
+        if (wit != _waiters.end()) {
+            std::vector<CoreId> blockedCores = std::move(wit->second);
+            _waiters.erase(wit);
+            for (CoreId c : blockedCores) {
+                if (c != core)
+                    trySettle(c);
+            }
+        }
+    }
+}
+
+void
+OrderingChecker::finalize()
+{
+    for (const auto &[k, st] : _live) {
+        if (!st.pending.empty()) {
+            std::ostringstream os;
+            os << "end of run: core " << keyCore(k) << " epoch "
+               << keyEpoch(k) << " still has " << st.pending.size()
+               << " unpersisted lines";
+            violation(os.str());
+        }
+    }
+}
+
+} // namespace persim::model

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Runtime validator of the paper's persist-ordering invariant.
+ */
+
+#ifndef PERSIM_MODEL_ORDERING_CHECKER_HH
+#define PERSIM_MODEL_ORDERING_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nvm/nvram.hh"
+#include "persist/epoch_observer.hh"
+#include "sim/types.hh"
+
+namespace persim::model
+{
+
+/**
+ * Observes the durable-write stream at the memory controllers and the
+ * epoch lifecycle at the arbiters, and independently re-derives the
+ * epoch happens-before order (program order per core, plus the recorded
+ * inter-thread dependence and overwrite edges).
+ *
+ * The checked invariant (§4.1): when a line of epoch E becomes durable,
+ * every epoch that happens-before E is already *settled* — all of its
+ * unwaived lines are durable and its own predecessors are settled. It
+ * also checks the undo-logging rule (§5.2.1): an epoch's undo-log
+ * writes are durable before any of its data lines.
+ *
+ * Violations are collected, not thrown, so tests can assert on them and
+ * benches can report them.
+ */
+class OrderingChecker : public nvm::PersistObserver,
+                        public persist::EpochObserver
+{
+  public:
+    /** One entry of the durable-write log (when enabled). */
+    struct PersistEvent
+    {
+        Tick when;
+        Addr addr;
+        CoreId core;
+        EpochId epoch;
+        bool isLog;
+    };
+
+    /**
+     * @param numCores Cores in the system.
+     * @param keepLog Record every durable write (tests only).
+     */
+    explicit OrderingChecker(unsigned numCores, bool keepLog = false);
+
+    // nvm::PersistObserver
+    void onPersist(Tick when, Addr addr, CoreId core, EpochId epoch,
+                   bool isLog) override;
+
+    // persist::EpochObserver
+    void onStoreTagged(CoreId core, EpochId epoch, Addr addr) override;
+    void onSteal(CoreId oldCore, EpochId oldEpoch, CoreId newCore,
+                 EpochId newEpoch, Addr addr,
+                 bool srcFlushInFlight) override;
+    void onDependence(CoreId depCore, EpochId depEpoch, CoreId srcCore,
+                      EpochId srcEpoch) override;
+    void onSplit(CoreId core, EpochId prefix, EpochId remainder) override;
+    void onEpochPersisted(CoreId core, EpochId epoch, Tick when) override;
+
+    /**
+     * End-of-run check: every tracked epoch must have drained (no
+     * pending lines). Appends violations if not.
+     */
+    void finalize();
+
+    const std::vector<std::string> &violations() const
+    {
+        return _violations;
+    }
+
+    std::uint64_t persistsObserved() const { return _persists; }
+    std::uint64_t taggedPersists() const { return _taggedPersists; }
+    std::uint64_t epochsSettled() const { return _epochsSettled; }
+    std::uint64_t dependenceEdges() const { return _dependenceEdges; }
+
+    /** The durable-write log (empty unless keepLog was set). */
+    const std::vector<PersistEvent> &log() const { return _log; }
+
+  private:
+    struct EpochState
+    {
+        std::unordered_set<Addr> pending; // lines still to persist
+        std::vector<std::uint64_t> preds; // cross-core hb predecessors
+        bool declared = false;            // arbiter declared Persisted
+        bool dataStarted = false;         // first data line durable
+    };
+
+    static std::uint64_t
+    key(CoreId c, EpochId e)
+    {
+        return (static_cast<std::uint64_t>(c) << 48) ^ e;
+    }
+    static CoreId keyCore(std::uint64_t k)
+    {
+        return static_cast<CoreId>(k >> 48);
+    }
+    static EpochId keyEpoch(std::uint64_t k)
+    {
+        return k ^ (static_cast<std::uint64_t>(keyCore(k)) << 48);
+    }
+
+    bool isSettled(CoreId core, EpochId epoch) const;
+    EpochState &stateFor(CoreId core, EpochId epoch);
+    void trySettle(CoreId core);
+    void violation(std::string what);
+
+    unsigned _numCores;
+    bool _keepLog;
+    std::unordered_map<std::uint64_t, EpochState> _live;
+
+    /** Per core: lowest epoch id not yet settled. */
+    std::vector<EpochId> _nextUnsettled;
+
+    /** Cores whose settling is blocked on a given epoch. */
+    std::unordered_map<std::uint64_t, std::vector<CoreId>> _waiters;
+
+    std::vector<std::string> _violations;
+    std::vector<PersistEvent> _log;
+    std::uint64_t _persists = 0;
+    std::uint64_t _taggedPersists = 0;
+    std::uint64_t _epochsSettled = 0;
+    std::uint64_t _dependenceEdges = 0;
+};
+
+} // namespace persim::model
+
+#endif // PERSIM_MODEL_ORDERING_CHECKER_HH

@@ -1,0 +1,205 @@
+#include "model/system.hh"
+
+#include <bit>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace persim::model
+{
+
+namespace
+{
+
+/** Trivial workload for cores with nothing assigned. */
+class IdleWorkload : public cpu::Workload
+{
+  public:
+    cpu::MemOp next(Tick) override { return cpu::MemOp::halt(); }
+};
+
+} // namespace
+
+System::System(const SystemConfig &cfg) : _cfg(cfg)
+{
+    _cfg.validate();
+    const unsigned n = _cfg.numCores;
+
+    _mesh = std::make_unique<noc::Mesh>("mesh", _eq, _cfg.mesh);
+    _pc = std::make_unique<persist::PersistController>("persist", _eq,
+                                                       _cfg.barrier, n);
+    if (_cfg.checkOrdering) {
+        _checker =
+            std::make_unique<OrderingChecker>(n, _cfg.keepPersistLog);
+        _pc->setObserver(_checker.get());
+    }
+
+    // Tile layout: core/L1 node = i, bank node = n + i, MC node = 2n + j.
+    const unsigned cols = _cfg.mesh.cols;
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned x = i % cols;
+        const unsigned y = i / cols;
+        _l1s.push_back(std::make_unique<cache::L1Cache>(
+            "l1[" + std::to_string(i) + "]", _eq, *_mesh, i, x, y,
+            static_cast<CoreId>(i), _cfg.l1, *_pc));
+        _banks.push_back(std::make_unique<cache::LlcBank>(
+            "llc[" + std::to_string(i) + "]", _eq, *_mesh, n + i, x, y, i,
+            _cfg.llcBank, *_pc));
+    }
+
+    // Memory controllers at the mesh corners (Figure 2).
+    const unsigned cornerX[4] = {0, _cfg.mesh.cols - 1, 0,
+                                 _cfg.mesh.cols - 1};
+    const unsigned cornerY[4] = {0, 0, _cfg.mesh.rows - 1,
+                                 _cfg.mesh.rows - 1};
+    nvm::NvramConfig nvramCfg = _cfg.nvram;
+    nvramCfg.bankShift = static_cast<unsigned>(
+        std::bit_width(_cfg.numMemControllers) - 1);
+    for (unsigned j = 0; j < _cfg.numMemControllers; ++j) {
+        auto mc = std::make_unique<nvm::MemoryController>(
+            "mc[" + std::to_string(j) + "]", _eq, *_mesh, 2 * n + j,
+            cornerX[j], cornerY[j], nvramCfg);
+        if (_checker)
+            mc->setObserver(_checker.get());
+        _mcs.push_back(std::move(mc));
+    }
+
+    std::vector<cache::L1Cache *> l1Ptrs;
+    std::vector<cache::LlcBank *> bankPtrs;
+    std::vector<nvm::MemoryController *> mcPtrs;
+    for (auto &l : _l1s)
+        l1Ptrs.push_back(l.get());
+    for (auto &b : _banks)
+        bankPtrs.push_back(b.get());
+    for (auto &m : _mcs)
+        mcPtrs.push_back(m.get());
+    _pc->connect(std::move(l1Ptrs), std::move(bankPtrs),
+                 std::move(mcPtrs), _mesh.get());
+
+    _workloads.resize(n);
+}
+
+System::~System() = default;
+
+void
+System::setWorkload(CoreId core, std::unique_ptr<cpu::Workload> workload)
+{
+    simAssert(core < _cfg.numCores, "setWorkload: core out of range");
+    simAssert(!_ran, "setWorkload after run()");
+    _workloads[core] = std::move(workload);
+}
+
+void
+System::buildCores()
+{
+    cpu::CoreConfig ccfg;
+    ccfg.writeBufferEntries = _cfg.writeBufferEntries;
+    ccfg.autoBarrierEvery = _cfg.autoBarrierEvery;
+    ccfg.persistEnabled = _cfg.barrier.enabled;
+    ccfg.writeThrough = _cfg.writeThrough;
+    for (unsigned i = 0; i < _cfg.numCores; ++i) {
+        if (!_workloads[i])
+            _workloads[i] = std::make_unique<IdleWorkload>();
+        _cores.push_back(std::make_unique<cpu::Core>(
+            "core[" + std::to_string(i) + "]", _eq,
+            static_cast<CoreId>(i), ccfg, _l1s[i].get(),
+            &_pc->arbiter(static_cast<CoreId>(i)), _workloads[i].get()));
+    }
+}
+
+SimResult
+System::run()
+{
+    simAssert(!_ran, "System::run() may only be called once");
+    _ran = true;
+    buildCores();
+
+    SimResult res;
+    unsigned running = _cfg.numCores;
+    bool drained = false;
+
+    for (auto &core : _cores) {
+        core->setOnDone([this, &running, &res, &drained] {
+            if (--running != 0)
+                return;
+            res.execTicks = _eq.now();
+            _pc->drainAll([this, &res, &drained] {
+                res.drainTicks = _eq.now();
+                drained = true;
+            });
+        });
+        core->start();
+    }
+
+    std::uint64_t events = 0;
+    while (!_eq.empty() && events < _cfg.maxEvents &&
+           _eq.now() <= _cfg.maxTicks) {
+        _eq.runNext();
+        ++events;
+    }
+    res.events = events;
+
+    if (!_eq.empty()) {
+        res.timedOut = true;
+        warn("system: simulation hit its safety limit at tick ",
+             _eq.now(), " after ", events, " events");
+    }
+    res.completed = (running == 0) && drained && !res.timedOut;
+    res.deadlocked = !res.timedOut && running != 0;
+    if (res.deadlocked) {
+        res.execTicks = _eq.now();
+        res.drainTicks = _eq.now();
+    }
+
+    if (_checker) {
+        if (res.completed)
+            _checker->finalize();
+        res.violations = _checker->violations();
+    }
+    for (auto &w : _workloads)
+        res.transactions += w->transactions();
+    return res;
+}
+
+std::map<std::string, double>
+System::stats()
+{
+    std::map<std::string, double> out;
+    _mesh->stats().toMap(out);
+    _pc->statsToMap(out);
+    for (auto &m : _mcs)
+        m->stats().toMap(out);
+    for (auto &l : _l1s)
+        l->stats().toMap(out);
+    for (auto &b : _banks)
+        b->stats().toMap(out);
+    for (auto &c : _cores)
+        c->stats().toMap(out);
+    return out;
+}
+
+void
+System::debugDump(std::ostream &os)
+{
+    for (unsigned c = 0; c < _cfg.numCores; ++c)
+        _pc->arbiter(static_cast<CoreId>(c)).debugDump(os);
+    for (auto &b : _banks)
+        b->debugDump(os);
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    _mesh->stats().dump(os);
+    _pc->dumpStats(os);
+    for (auto &m : _mcs)
+        m->stats().dump(os);
+    for (auto &l : _l1s)
+        l->stats().dump(os);
+    for (auto &b : _banks)
+        b->stats().dump(os);
+    for (auto &c : _cores)
+        c->stats().dump(os);
+}
+
+} // namespace persim::model

@@ -1,0 +1,124 @@
+#include "model/system_config.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace persim::model
+{
+
+const char *
+toString(PersistencyModel model)
+{
+    switch (model) {
+      case PersistencyModel::NoPersistency:
+        return "NP";
+      case PersistencyModel::Strict:
+        return "SP";
+      case PersistencyModel::Epoch:
+        return "EP";
+      case PersistencyModel::BufferedEpoch:
+        return "BEP";
+      case PersistencyModel::BufferedStrict:
+        return "BSP";
+    }
+    return "?";
+}
+
+SystemConfig
+SystemConfig::paperTable1()
+{
+    return SystemConfig{};
+}
+
+SystemConfig
+SystemConfig::smallTest(unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.mesh.rows = 2;
+    cfg.mesh.cols = (cores + 1) / 2;
+    if (cfg.mesh.cols == 0)
+        cfg.mesh.cols = 1;
+    cfg.numMemControllers = 2;
+    cfg.l1.geometry = cache::CacheGeometry{4 * 1024, 4};
+    cfg.llcBank.geometry = cache::CacheGeometry{32 * 1024, 8};
+    cfg.llcBank.setShift = std::bit_width(cores) - 1;
+    return cfg;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (numCores == 0 || numCores > 64)
+        fatal("numCores must be in [1, 64], got ", numCores);
+    if (numMemControllers == 0 || numMemControllers > 4)
+        fatal("numMemControllers must be in [1, 4]");
+    if (mesh.rows * mesh.cols < numCores)
+        fatal("mesh (", mesh.rows, "x", mesh.cols, ") too small for ",
+              numCores, " tiles");
+    if ((numCores & (numCores - 1)) != 0)
+        fatal("numCores must be a power of two (bank interleaving)");
+    if (llcBank.setShift != static_cast<unsigned>(
+                                std::bit_width(numCores) - 1)) {
+        fatal("llcBank.setShift (", llcBank.setShift,
+              ") must equal log2(numCores) = ",
+              std::bit_width(numCores) - 1);
+    }
+    if (barrier.maxInflightEpochs < 2)
+        fatal("need at least 2 in-flight epochs");
+    if (writeThrough && barrier.enabled)
+        fatal("write-through SP runs without the epoch machinery");
+    if (barrier.logging && !barrier.enabled)
+        fatal("undo logging requires the persist machinery");
+    if (autoBarrierEvery != 0 && !barrier.enabled)
+        fatal("BSP auto-barriers require the persist machinery");
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << numCores << " cores @ 2GHz, " << mesh.rows << "x" << mesh.cols
+       << " mesh (" << mesh.flitBytes << "B flits), L1 "
+       << l1.geometry.sizeBytes / 1024 << "KB/" << l1.geometry.ways
+       << "-way/" << l1.accessLatency << "cy, LLC "
+       << llcBank.geometry.sizeBytes / 1024 << "KB x " << numCores
+       << " banks/" << llcBank.geometry.ways << "-way/"
+       << llcBank.accessLatency << "cy, " << numMemControllers
+       << " MCs, NVRAM " << nvram.writeLatency << "/"
+       << nvram.readLatency << "cy write/read, WB "
+       << writeBufferEntries << " entries";
+    return os.str();
+}
+
+void
+applyPersistencyModel(SystemConfig &cfg, PersistencyModel model,
+                      persist::BarrierKind kind, unsigned epochSize)
+{
+    cfg.barrier = persist::BarrierConfig::forKind(kind);
+    cfg.autoBarrierEvery = 0;
+    cfg.writeThrough = false;
+    switch (model) {
+      case PersistencyModel::NoPersistency:
+        cfg.barrier.enabled = false;
+        break;
+      case PersistencyModel::Strict:
+        cfg.barrier.enabled = false;
+        cfg.writeThrough = true;
+        break;
+      case PersistencyModel::Epoch:
+        cfg.barrier.blockingBarrier = true;
+        break;
+      case PersistencyModel::BufferedEpoch:
+        break;
+      case PersistencyModel::BufferedStrict:
+        cfg.autoBarrierEvery = epochSize;
+        cfg.barrier.logging = true;
+        cfg.barrier.checkpointLines = 16; // ~1KB of processor state (§6)
+        break;
+    }
+}
+
+} // namespace persim::model

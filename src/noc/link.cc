@@ -1,0 +1,29 @@
+#include "noc/link.hh"
+
+#include <algorithm>
+
+namespace persim::noc
+{
+
+Link::Link(std::string name, StatGroup *group)
+    : _name(std::move(name)),
+      _packets(group, _name + ".packets", "packets crossing this link"),
+      _busyCycles(group, _name + ".busyCycles",
+                  "flit-cycles of link occupancy"),
+      _waitCycles(group, _name + ".waitCycles",
+                  "cycles packets waited on this link")
+{
+}
+
+Tick
+Link::reserve(Tick earliest, unsigned flits)
+{
+    Tick start = std::max(earliest, _nextFree);
+    _waitCycles.inc(start - earliest);
+    _nextFree = start + flits;
+    _packets.inc();
+    _busyCycles.inc(flits);
+    return start;
+}
+
+} // namespace persim::noc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A directed on-chip link with serialization and contention accounting.
+ */
+
+#ifndef PERSIM_NOC_LINK_HH
+#define PERSIM_NOC_LINK_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace persim::noc
+{
+
+/**
+ * One directed link of the mesh (router-to-router, injection or ejection).
+ *
+ * The mesh uses reservation-based timing: when a packet is routed, each
+ * link on its path is reserved for the packet's flit count starting at the
+ * earliest cycle the link is free. This models wormhole serialization and
+ * head-of-line contention without per-flit events.
+ */
+class Link
+{
+  public:
+    /**
+     * @param name Instance name for stats, e.g. "mesh.r3.east".
+     * @param group Stat group to register utilization counters with.
+     */
+    Link(std::string name, StatGroup *group);
+
+    /**
+     * Reserve the link for @p flits flit-cycles.
+     *
+     * @param earliest First cycle the packet's head can use the link.
+     * @param flits Number of flit cycles the link is occupied.
+     * @return The cycle the head flit actually starts crossing.
+     */
+    Tick reserve(Tick earliest, unsigned flits);
+
+    /** First cycle at which the link is free. */
+    Tick nextFree() const { return _nextFree; }
+
+    const std::string &name() const { return _name; }
+
+    /** Total packets that crossed this link. */
+    std::uint64_t packets() const { return _packets.value(); }
+    /** Total flit-cycles of occupancy. */
+    std::uint64_t busyCycles() const { return _busyCycles.value(); }
+    /** Total cycles packets waited for this link to free up. */
+    std::uint64_t waitCycles() const { return _waitCycles.value(); }
+
+  private:
+    std::string _name;
+    Tick _nextFree = 0;
+    Scalar _packets;
+    Scalar _busyCycles;
+    Scalar _waitCycles;
+};
+
+} // namespace persim::noc
+
+#endif // PERSIM_NOC_LINK_HH

@@ -1,0 +1,110 @@
+#include "noc/mesh.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace persim::noc
+{
+
+Mesh::Mesh(const std::string &name, EventQueue &eq, const MeshConfig &cfg)
+    : SimObject(name, eq),
+      _cfg(cfg),
+      _stats(name),
+      _packets(&_stats, "packets", "packets injected into the mesh"),
+      _flits(&_stats, "flits", "flits injected into the mesh"),
+      _latency(&_stats, "latency", "end-to-end packet latency (cycles)")
+{
+    simAssert(cfg.rows > 0 && cfg.cols > 0, "empty mesh");
+    simAssert(cfg.flitBytes > 0, "zero flit width");
+    _routers.reserve(cfg.rows * cfg.cols);
+    for (unsigned y = 0; y < cfg.rows; ++y) {
+        for (unsigned x = 0; x < cfg.cols; ++x) {
+            _routers.push_back(std::make_unique<Router>(
+                name + ".r" + std::to_string(y * cfg.cols + x), &_stats,
+                x, y));
+        }
+    }
+}
+
+void
+Mesh::attach(unsigned nodeId, unsigned x, unsigned y)
+{
+    simAssert(x < _cfg.cols && y < _cfg.rows, "attach outside mesh: (", x,
+              ",", y, ")");
+    if (nodeId >= _nodes.size())
+        _nodes.resize(nodeId + 1);
+    simAssert(!_nodes[nodeId].attached, "node ", nodeId,
+              " attached twice");
+    _nodes[nodeId] = NodeLoc{true, x, y};
+}
+
+unsigned
+Mesh::hops(unsigned src, unsigned dst) const
+{
+    simAssert(src < _nodes.size() && _nodes[src].attached,
+              "unattached src node ", src);
+    simAssert(dst < _nodes.size() && _nodes[dst].attached,
+              "unattached dst node ", dst);
+    const NodeLoc &s = _nodes[src];
+    const NodeLoc &d = _nodes[dst];
+    return static_cast<unsigned>(std::abs(int(s.x) - int(d.x)) +
+                                 std::abs(int(s.y) - int(d.y)));
+}
+
+Tick
+Mesh::idleLatency(unsigned src, unsigned dst, unsigned bytes) const
+{
+    unsigned h = hops(src, dst);
+    unsigned f = flitsFor(bytes);
+    // Injection + per-hop (router + link) + ejection + tail serialization.
+    return _cfg.routerLatency + h * (_cfg.routerLatency + _cfg.linkLatency)
+           + _cfg.linkLatency + (f - 1);
+}
+
+Tick
+Mesh::send(unsigned src, unsigned dst, unsigned bytes,
+           EventQueue::Callback onDeliver)
+{
+    simAssert(src < _nodes.size() && _nodes[src].attached,
+              "send from unattached node ", src);
+    simAssert(dst < _nodes.size() && _nodes[dst].attached,
+              "send to unattached node ", dst);
+    simAssert(bytes > 0, "empty packet");
+
+    const unsigned flits = flitsFor(bytes);
+    const NodeLoc &s = _nodes[src];
+    const NodeLoc &d = _nodes[dst];
+
+    _packets.inc();
+    _flits.inc(flits);
+
+    // Head-flit cursor: time the head is ready at the next router.
+    Tick cursor = curTick() + _cfg.routerLatency; // injection pipeline
+    unsigned x = s.x;
+    unsigned y = s.y;
+
+    // X then Y dimension-order routing, reserving each traversed link.
+    while (x != d.x) {
+        Direction dir = (d.x > x) ? Direction::East : Direction::West;
+        Tick start = routerAt(x, y).out(dir).reserve(cursor, flits);
+        cursor = start + _cfg.linkLatency + _cfg.routerLatency;
+        x = (d.x > x) ? x + 1 : x - 1;
+    }
+    while (y != d.y) {
+        Direction dir = (d.y > y) ? Direction::South : Direction::North;
+        Tick start = routerAt(x, y).out(dir).reserve(cursor, flits);
+        cursor = start + _cfg.linkLatency + _cfg.routerLatency;
+        y = (d.y > y) ? y + 1 : y - 1;
+    }
+
+    // Ejection: local port serializes the whole packet.
+    Tick start = routerAt(x, y).out(Direction::Eject).reserve(cursor, flits);
+    Tick arrival = start + _cfg.linkLatency + (flits - 1);
+
+    _latency.sample(static_cast<double>(arrival - curTick()));
+    eventQueue().schedule(arrival, std::move(onDeliver));
+    return arrival;
+}
+
+} // namespace persim::noc

@@ -1,0 +1,8 @@
+#include "noc/network_interface.hh"
+
+// Header-only today; this translation unit exists so the module has a
+// stable home for future out-of-line additions.
+
+namespace persim::noc
+{
+} // namespace persim::noc

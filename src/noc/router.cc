@@ -1,0 +1,20 @@
+#include "noc/router.hh"
+
+namespace persim::noc
+{
+
+namespace
+{
+const char *const dirNames[kNumDirections] = {"east", "west", "north",
+                                              "south", "eject"};
+} // namespace
+
+Router::Router(const std::string &name, StatGroup *group, unsigned x,
+               unsigned y)
+    : _x(x), _y(y)
+{
+    for (unsigned d = 0; d < kNumDirections; ++d)
+        _out[d] = std::make_unique<Link>(name + "." + dirNames[d], group);
+}
+
+} // namespace persim::noc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One mesh router: four directional output links plus local ejection.
+ */
+
+#ifndef PERSIM_NOC_ROUTER_HH
+#define PERSIM_NOC_ROUTER_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "noc/link.hh"
+#include "sim/types.hh"
+
+namespace persim::noc
+{
+
+/** Output directions of a mesh router. */
+enum class Direction : unsigned
+{
+    East = 0,
+    West = 1,
+    North = 2,
+    South = 3,
+    Eject = 4,
+};
+
+constexpr unsigned kNumDirections = 5;
+
+/**
+ * A mesh router.
+ *
+ * Routers own their output links (east/west/north/south/eject); the input
+ * side is the neighbouring router's output link, so each physical channel
+ * is represented exactly once.
+ */
+class Router
+{
+  public:
+    /**
+     * @param name Instance name, e.g. "mesh.r12".
+     * @param group Stat group for the router's links.
+     * @param x Column coordinate in the mesh.
+     * @param y Row coordinate in the mesh.
+     */
+    Router(const std::string &name, StatGroup *group, unsigned x,
+           unsigned y);
+
+    unsigned x() const { return _x; }
+    unsigned y() const { return _y; }
+
+    /** Output link in direction @p d. */
+    Link &out(Direction d) { return *_out[static_cast<unsigned>(d)]; }
+
+  private:
+    unsigned _x;
+    unsigned _y;
+    std::array<std::unique_ptr<Link>, kNumDirections> _out;
+};
+
+} // namespace persim::noc
+
+#endif // PERSIM_NOC_ROUTER_HH

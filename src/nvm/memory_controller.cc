@@ -1,0 +1,56 @@
+#include "nvm/memory_controller.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::nvm
+{
+
+MemoryController::MemoryController(const std::string &name, EventQueue &eq,
+                                   noc::Mesh &mesh, unsigned nodeId,
+                                   unsigned x, unsigned y,
+                                   const NvramConfig &cfg)
+    : SimObject(name, eq),
+      _stats(name),
+      _ni(name + ".ni", mesh, nodeId, x, y),
+      _nvram("nvram", cfg, &_stats),
+      _persistAcks(&_stats, "persistAcks", "PersistAck messages sent"),
+      _logWrites(&_stats, "logWrites", "undo-log/checkpoint line writes"),
+      _writeLatency(&_stats, "writeLatency",
+                    "request-to-durable latency (cycles)")
+{
+}
+
+void
+MemoryController::handleWrite(WriteReq req)
+{
+    const Tick now = curTick();
+    const Tick durable = _nvram.write(now, req.addr);
+    _writeLatency.sample(static_cast<double>(durable - now));
+    if (req.isLog)
+        _logWrites.inc();
+    if (durable > _lastDurable)
+        _lastDurable = durable;
+
+    scheduleIn(durable - now, [this, req = std::move(req), durable] {
+        if (_observer) {
+            _observer->onPersist(durable, req.addr, req.core, req.epoch,
+                                 req.isLog);
+        }
+        _persistAcks.inc();
+        if (req.onPersist)
+            _ni.sendControl(req.replyTo, req.onPersist);
+    });
+}
+
+void
+MemoryController::handleRead(ReadReq req)
+{
+    const Tick now = curTick();
+    const Tick ready = _nvram.read(now, req.addr);
+    simAssert(static_cast<bool>(req.onData), "read without onData");
+    scheduleIn(ready - now, [this, req = std::move(req)] {
+        _ni.sendData(req.replyTo, req.onData);
+    });
+}
+
+} // namespace persim::nvm

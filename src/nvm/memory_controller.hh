@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Memory controller: the mesh-facing front end of one NVRAM device.
+ */
+
+#ifndef PERSIM_NVM_MEMORY_CONTROLLER_HH
+#define PERSIM_NVM_MEMORY_CONTROLLER_HH
+
+#include <functional>
+#include <string>
+
+#include "noc/network_interface.hh"
+#include "nvm/nvram.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace persim::nvm
+{
+
+/** A durable write request, as it arrives at the controller. */
+struct WriteReq
+{
+    Addr addr = 0;
+    /** Epoch tag carried by the line (kNoCore/kNoEpoch if untagged). */
+    CoreId core = kNoCore;
+    EpochId epoch = kNoEpoch;
+    /** True for undo-log / checkpoint writes (stats + checker). */
+    bool isLog = false;
+    /** Requesting node; PersistAck travels back to it. */
+    unsigned replyTo = 0;
+    /** Runs at the requester when the PersistAck arrives. */
+    std::function<void()> onPersist;
+};
+
+/** A line read request (LLC miss fill). */
+struct ReadReq
+{
+    Addr addr = 0;
+    unsigned replyTo = 0;
+    /** Runs at the requester when the data arrives. */
+    std::function<void()> onData;
+};
+
+/**
+ * One of the (four) memory controllers at the mesh corners.
+ *
+ * Requests arrive as mesh deliveries that invoke handleWrite/handleRead;
+ * service timing comes from the owned Nvram device; completions travel
+ * back over the mesh (PersistAck as control, data as a data message).
+ */
+class MemoryController : public SimObject
+{
+  public:
+    /**
+     * @param name Instance name, e.g. "mc0".
+     * @param eq Event queue.
+     * @param mesh The on-chip network.
+     * @param nodeId Mesh endpoint id of this controller.
+     * @param x Router column to attach at.
+     * @param y Router row to attach at.
+     * @param cfg NVRAM timing parameters.
+     */
+    MemoryController(const std::string &name, EventQueue &eq,
+                     noc::Mesh &mesh, unsigned nodeId, unsigned x,
+                     unsigned y, const NvramConfig &cfg);
+
+    /** Accept a durable write (call at delivery time). */
+    void handleWrite(WriteReq req);
+
+    /** Accept a read (call at delivery time). */
+    void handleRead(ReadReq req);
+
+    /** Attach the persist observer (ordering checker). */
+    void setObserver(PersistObserver *obs) { _observer = obs; }
+
+    unsigned nodeId() const { return _ni.nodeId(); }
+    Nvram &nvram() { return _nvram; }
+    StatGroup &stats() { return _stats; }
+
+    /**
+     * Tick of the last durable write accepted, i.e. the earliest time at
+     * which the device is quiescent. Used by System::run drain logic.
+     */
+    Tick lastDurableTick() const { return _lastDurable; }
+
+  private:
+    StatGroup _stats;
+    noc::NetworkInterface _ni;
+    Nvram _nvram;
+    PersistObserver *_observer = nullptr;
+    Tick _lastDurable = 0;
+
+    Scalar _persistAcks;
+    Scalar _logWrites;
+    Distribution _writeLatency;
+};
+
+/**
+ * Line-interleaved address mapping to controllers.
+ *
+ * @param addr Any address.
+ * @param numControllers Number of controllers (> 0).
+ */
+inline unsigned
+mcIndexFor(Addr addr, unsigned numControllers)
+{
+    return static_cast<unsigned>(lineNum(addr)) % numControllers;
+}
+
+} // namespace persim::nvm
+
+#endif // PERSIM_NVM_MEMORY_CONTROLLER_HH

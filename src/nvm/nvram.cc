@@ -1,0 +1,48 @@
+#include "nvm/nvram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace persim::nvm
+{
+
+Nvram::Nvram(std::string name, const NvramConfig &cfg, StatGroup *group)
+    : _name(std::move(name)),
+      _cfg(cfg),
+      _bankFree(cfg.banks, 0),
+      _writes(group, _name + ".writes", "durable line writes"),
+      _reads(group, _name + ".reads", "line reads"),
+      _writeQueueing(group, _name + ".writeQueueing",
+                     "cycles writes queued behind a busy bank"),
+      _readQueueing(group, _name + ".readQueueing",
+                    "cycles reads queued behind a busy bank")
+{
+    simAssert(cfg.banks > 0, "NVRAM needs at least one bank");
+}
+
+Tick
+Nvram::service(Tick now, Addr addr, Tick latency, Scalar &counter,
+               Distribution &queueing)
+{
+    Tick &free = _bankFree[bankOf(addr)];
+    Tick start = std::max(now, free);
+    queueing.sample(static_cast<double>(start - now));
+    free = start + latency;
+    counter.inc();
+    return free;
+}
+
+Tick
+Nvram::write(Tick now, Addr addr)
+{
+    return service(now, addr, _cfg.writeLatency, _writes, _writeQueueing);
+}
+
+Tick
+Nvram::read(Tick now, Addr addr)
+{
+    return service(now, addr, _cfg.readLatency, _reads, _readQueueing);
+}
+
+} // namespace persim::nvm

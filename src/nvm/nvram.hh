@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Timing and durability model of one NVRAM device (one per controller).
+ */
+
+#ifndef PERSIM_NVM_NVRAM_HH
+#define PERSIM_NVM_NVRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace persim::nvm
+{
+
+/**
+ * Observer of the durable-write stream.
+ *
+ * The ordering checker implements this to validate that the persist order
+ * observed at the devices respects the epoch happens-before order.
+ */
+class PersistObserver
+{
+  public:
+    virtual ~PersistObserver() = default;
+
+    /**
+     * A line became durable.
+     *
+     * @param when Tick at which the write became durable.
+     * @param addr Line-aligned address.
+     * @param core Core whose epoch wrote the line (kNoCore if untagged).
+     * @param epoch Epoch that wrote the line (kNoEpoch if untagged).
+     * @param isLog True for undo-log / checkpoint writes.
+     */
+    virtual void onPersist(Tick when, Addr addr, CoreId core,
+                           EpochId epoch, bool isLog) = 0;
+};
+
+/** Timing parameters of an NVRAM device (Table 1 defaults). */
+struct NvramConfig
+{
+    /** Cycles to durably write one line. */
+    Tick writeLatency = 360;
+    /** Cycles to read one line. */
+    Tick readLatency = 240;
+    /** Independent banks per device (bank-level parallelism). */
+    unsigned banks = 32;
+
+    /**
+     * Low line-number bits to strip before bank selection. Controllers
+     * are line-interleaved (mcIndexFor), so a device only ever sees
+     * lines with equal low bits; without the shift only banks whose
+     * index shares those bits would be used. Set to log2(numControllers)
+     * by the System.
+     */
+    unsigned bankShift = 2;
+};
+
+/**
+ * One NVRAM device: a set of independently busy banks.
+ *
+ * Values are not stored (the simulator is metadata-only); the device
+ * provides access timing and reports durable writes to the observer.
+ */
+class Nvram
+{
+  public:
+    Nvram(std::string name, const NvramConfig &cfg, StatGroup *group);
+
+    /**
+     * Schedule a durable write of @p addr.
+     *
+     * @param now Current tick.
+     * @return Tick at which the line is durable.
+     */
+    Tick write(Tick now, Addr addr);
+
+    /**
+     * Schedule a read of @p addr.
+     *
+     * @param now Current tick.
+     * @return Tick at which data is available.
+     */
+    Tick read(Tick now, Addr addr);
+
+    const NvramConfig &config() const { return _cfg; }
+
+    std::uint64_t writes() const { return _writes.value(); }
+    std::uint64_t reads() const { return _reads.value(); }
+
+  private:
+    unsigned bankOf(Addr addr) const
+    {
+        return static_cast<unsigned>(lineNum(addr) >> _cfg.bankShift) %
+               _cfg.banks;
+    }
+
+    /** Occupy the bank and return service completion time. */
+    Tick service(Tick now, Addr addr, Tick latency, Scalar &counter,
+                 Distribution &queueing);
+
+    std::string _name;
+    NvramConfig _cfg;
+    std::vector<Tick> _bankFree;
+    Scalar _writes;
+    Scalar _reads;
+    Distribution _writeQueueing;
+    Distribution _readQueueing;
+};
+
+} // namespace persim::nvm
+
+#endif // PERSIM_NVM_NVRAM_HH

@@ -1,0 +1,48 @@
+#include "persist/barrier_config.hh"
+
+namespace persim::persist
+{
+
+const char *
+toString(BarrierKind kind)
+{
+    switch (kind) {
+      case BarrierKind::None:
+        return "NP";
+      case BarrierKind::LB:
+        return "LB";
+      case BarrierKind::LBIDT:
+        return "LB+IDT";
+      case BarrierKind::LBPF:
+        return "LB+PF";
+      case BarrierKind::LBPP:
+        return "LB++";
+    }
+    return "?";
+}
+
+BarrierConfig
+BarrierConfig::forKind(BarrierKind kind)
+{
+    BarrierConfig cfg;
+    switch (kind) {
+      case BarrierKind::None:
+        cfg.enabled = false;
+        break;
+      case BarrierKind::LB:
+        break;
+      case BarrierKind::LBIDT:
+        cfg.idt = true;
+        break;
+      case BarrierKind::LBPF:
+        cfg.proactiveFlush = true;
+        break;
+      case BarrierKind::LBPP:
+        cfg.idt = true;
+        cfg.proactiveFlush = true;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace persim::persist

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The per-core epoch record: the unit of persist ordering.
+ */
+
+#ifndef PERSIM_PERSIST_EPOCH_HH
+#define PERSIM_PERSIST_EPOCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "persist/idt_registers.hh"
+#include "sim/types.hh"
+
+namespace persim::persist
+{
+
+/**
+ * Lifecycle of an epoch.
+ *
+ * Ongoing: the core is still executing instructions in it.
+ * Completed: its persist barrier retired and all its stores drained the
+ *            write buffer; its line set is final.
+ * Flushing: the arbiter is running the epoch-flush handshake for it.
+ * Persisted: every line (and log/checkpoint write) is durable; the epoch
+ *            has retired from the in-flight window.
+ */
+enum class EpochState : std::uint8_t
+{
+    Ongoing,
+    Completed,
+    Flushing,
+    Persisted,
+};
+
+/** Why an epoch's flush was initiated (paper Figure 12 taxonomy). */
+enum class FlushCause : std::uint8_t
+{
+    None,        // not yet flushed
+    IntraThread, // store hit an older unpersisted epoch of the same core
+    InterThread, // another core touched this epoch's line (no/full IDT)
+    Replacement, // an LLC victim belonged to this (or a newer) epoch
+    Proactive,   // PF: flushed on completion, off the critical path
+    Barrier,     // blocking barrier (EP / SP models)
+    Drain,       // end-of-run drain
+};
+
+/** One in-flight epoch of one core. */
+struct Epoch
+{
+    Epoch(EpochId id_, unsigned idtCapacity)
+        : id(id_), depRegs(idtCapacity), informRegs(idtCapacity)
+    {
+    }
+
+    EpochId id;
+    EpochState state = EpochState::Ongoing;
+
+    /**
+     * The barrier ending this epoch has executed; no new stores tag it.
+     * Stores tag at completion (drain) time and the barrier drains the
+     * write buffer first, so closed epochs are complete: their line set
+     * is final (this is what makes §3.3's deadlock-avoidance argument
+     * hold — a closed epoch can never issue another memory request).
+     */
+    bool closed = false;
+
+    /** Line incarnations currently owned by this epoch (L1 + LLC). */
+    std::uint64_t linesLive = 0;
+
+    /** Line flushes sent to memory controllers, awaiting PersistAck. */
+    std::uint32_t flushesInFlight = 0;
+
+    /** Undo-log line writes not yet durable (BSP with logging). */
+    std::uint32_t logWritesPending = 0;
+
+    /** Checkpoint line writes not yet durable (BSP). */
+    std::uint32_t checkpointPending = 0;
+
+    /** BankAcks still expected while Flushing. */
+    std::uint32_t bankAcksPending = 0;
+
+    /** First cause that initiated this epoch's flush. */
+    FlushCause flushCause = FlushCause::None;
+
+    /** Flushing: the undo log drained and the bank phase began. */
+    bool bankPhaseStarted = false;
+
+    /** Flushing: the full FlushEpoch/BankAck handshake is in use. */
+    bool usedHandshake = false;
+
+    /** True if any request conflicted with this epoch (Figure 12). */
+    bool conflicted = false;
+
+    /** IDT: source epochs this epoch must not persist before. */
+    IdtRegs depRegs;
+
+    /** IDT: dependent epochs to notify once this epoch persists. */
+    IdtRegs informRegs;
+
+    /** Continuations to run when the epoch is Persisted. */
+    std::vector<std::function<void()>> persistWaiters;
+
+    /** Continuations to run when the epoch closes (deadlock-prone LB
+     * mode waits here for ongoing source epochs to end naturally). */
+    std::vector<std::function<void()>> closeWaiters;
+
+    /** Remote sources already asked (once) to flush (IDT pull). */
+    std::vector<IdtEntry> pullsSent;
+
+    /** Total stores executed in this epoch (stats / BSP sizing). */
+    std::uint64_t storeCount = 0;
+
+    bool ongoing() const { return state == EpochState::Ongoing; }
+    bool persisted() const { return state == EpochState::Persisted; }
+
+    /** The epoch closed: its lines are final. */
+    bool
+    readyToComplete() const
+    {
+        return closed && state == EpochState::Ongoing;
+    }
+};
+
+} // namespace persim::persist
+
+#endif // PERSIM_PERSIST_EPOCH_HH

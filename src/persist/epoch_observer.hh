@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Observer interface for epoch lifecycle events (ordering validation).
+ */
+
+#ifndef PERSIM_PERSIST_EPOCH_OBSERVER_HH
+#define PERSIM_PERSIST_EPOCH_OBSERVER_HH
+
+#include "sim/types.hh"
+
+namespace persim::persist
+{
+
+/**
+ * Receives the epoch-level events the ordering checker needs to rebuild
+ * the happens-before order independently of the flush machinery.
+ */
+class EpochObserver
+{
+  public:
+    virtual ~EpochObserver() = default;
+
+    /** (core, epoch) gained a new line incarnation at @p addr. */
+    virtual void onStoreTagged(CoreId core, EpochId epoch, Addr addr) = 0;
+
+    /**
+     * (newCore, newEpoch) overwrote @p addr, stealing the incarnation
+     * from (oldCore, oldEpoch). @p srcFlushInFlight is true when the old
+     * incarnation's flush was already on its way to memory (it will still
+     * persist with the old tags).
+     */
+    virtual void onSteal(CoreId oldCore, EpochId oldEpoch, CoreId newCore,
+                         EpochId newEpoch, Addr addr,
+                         bool srcFlushInFlight) = 0;
+
+    /** IDT recorded: (depCore, depEpoch) must persist after the source. */
+    virtual void onDependence(CoreId depCore, EpochId depEpoch,
+                              CoreId srcCore, EpochId srcEpoch) = 0;
+
+    /** The arbiter split (core)'s ongoing epoch; @p prefix closed. */
+    virtual void onSplit(CoreId core, EpochId prefix,
+                         EpochId remainder) = 0;
+
+    /** The arbiter declared (core, epoch) fully persisted at @p when. */
+    virtual void onEpochPersisted(CoreId core, EpochId epoch,
+                                  Tick when) = 0;
+};
+
+} // namespace persim::persist
+
+#endif // PERSIM_PERSIST_EPOCH_OBSERVER_HH

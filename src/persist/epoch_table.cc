@@ -1,0 +1,78 @@
+#include "persist/epoch_table.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::persist
+{
+
+EpochTable::EpochTable(CoreId core, unsigned maxInflight,
+                       unsigned idtCapacity)
+    : _core(core), _maxInflight(maxInflight), _idtCapacity(idtCapacity)
+{
+    simAssert(maxInflight >= 2,
+              "epoch window must hold at least 2 epochs");
+    // Epoch 0 opens immediately; a core always has a current epoch.
+    _window.push_back(std::make_unique<Epoch>(_nextId++, _idtCapacity));
+}
+
+Epoch *
+EpochTable::find(EpochId id)
+{
+    for (auto &e : _window) {
+        if (e->id == id)
+            return e.get();
+    }
+    return nullptr;
+}
+
+bool
+EpochTable::isPersisted(EpochId id) const
+{
+    // Anything older than the window's front has retired as Persisted.
+    if (_window.empty() || id < _window.front()->id)
+        return true;
+    for (const auto &e : _window) {
+        if (e->id == id)
+            return e->persisted();
+    }
+    // Not retired and not in the window: an epoch id from the future.
+    return false;
+}
+
+Epoch &
+EpochTable::closeCurrentAndOpen()
+{
+    simAssert(canOpen(), "core ", _core,
+              ": epoch window full; caller must stall");
+    Epoch &prefix = *_window.back();
+    simAssert(!prefix.closed, "closing an already-closed epoch");
+    prefix.closed = true;
+    _window.push_back(std::make_unique<Epoch>(_nextId++, _idtCapacity));
+    return prefix;
+}
+
+unsigned
+EpochTable::retirePersisted()
+{
+    unsigned retired = 0;
+    // The current Ongoing epoch (back) never retires.
+    while (_window.size() > 1 && _window.front()->persisted()) {
+        _window.pop_front();
+        ++retired;
+    }
+    return retired;
+}
+
+Epoch *
+EpochTable::predecessorOf(EpochId id)
+{
+    Epoch *prev = nullptr;
+    for (auto &e : _window) {
+        if (e->id == id)
+            return prev;
+        prev = e.get();
+    }
+    panic("core ", _core, ": predecessorOf(", id, ") not in window");
+}
+
+} // namespace persim::persist

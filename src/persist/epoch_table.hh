@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-core in-flight epoch window (8 entries in the paper, §4.3).
+ */
+
+#ifndef PERSIM_PERSIST_EPOCH_TABLE_HH
+#define PERSIM_PERSIST_EPOCH_TABLE_HH
+
+#include <deque>
+#include <memory>
+
+#include "persist/epoch.hh"
+#include "sim/types.hh"
+
+namespace persim::persist
+{
+
+/**
+ * The ordered window of one core's unpersisted epochs.
+ *
+ * The front is the oldest unpersisted epoch, the back is the current
+ * (Ongoing) epoch. Persisted epochs retire from the front. The window is
+ * bounded (hardware has 3-bit epoch tags); opening a new epoch when the
+ * window is full must stall until the oldest epoch persists — the caller
+ * checks canOpen() and registers a waiter on the oldest epoch.
+ */
+class EpochTable
+{
+  public:
+    /**
+     * @param core Owning core.
+     * @param maxInflight Window size (paper: 8).
+     * @param idtCapacity IDT register pairs per epoch (paper: 4).
+     */
+    EpochTable(CoreId core, unsigned maxInflight, unsigned idtCapacity);
+
+    CoreId core() const { return _core; }
+
+    /** The current (always Ongoing) epoch receiving new stores. */
+    Epoch &current() { return *_window.back(); }
+
+    /** Oldest unpersisted epoch (nullptr if the window is empty). */
+    Epoch *oldest() { return _window.empty() ? nullptr : _window.front().get(); }
+
+    /** Find an epoch still in the window; nullptr if already retired. */
+    Epoch *find(EpochId id);
+
+    /** True if @p id already persisted (i.e. retired or marked). */
+    bool isPersisted(EpochId id) const;
+
+    /**
+     * True if a new epoch can be opened (window has a slot).
+     * The current Ongoing epoch always occupies one slot.
+     */
+    bool canOpen() const { return _window.size() < _maxInflight; }
+
+    /**
+     * Close the current epoch (persist barrier / BSP boundary / split)
+     * and open the next one. Requires canOpen().
+     *
+     * @return The newly closed epoch (the prefix).
+     */
+    Epoch &closeCurrentAndOpen();
+
+    /**
+     * Retire leading Persisted epochs from the window.
+     *
+     * @return Number of epochs retired.
+     */
+    unsigned retirePersisted();
+
+    /**
+     * The epoch preceding @p id in program order if still in the window;
+     * nullptr when @p id is the oldest (its predecessors all persisted).
+     */
+    Epoch *predecessorOf(EpochId id);
+
+    /** Number of epochs currently in the window. */
+    std::size_t inflight() const { return _window.size(); }
+
+    /** All epochs in the window, oldest first (for iteration). */
+    const std::deque<std::unique_ptr<Epoch>> &window() const
+    {
+        return _window;
+    }
+
+    /** Total epochs ever opened by this core. */
+    std::uint64_t epochsOpened() const { return _nextId; }
+
+  private:
+    CoreId _core;
+    unsigned _maxInflight;
+    unsigned _idtCapacity;
+    EpochId _nextId = 0;
+    std::deque<std::unique_ptr<Epoch>> _window;
+};
+
+} // namespace persim::persist
+
+#endif // PERSIM_PERSIST_EPOCH_TABLE_HH

@@ -1,0 +1,80 @@
+#include "persist/flush_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace persim::persist
+{
+
+void
+FlushEngine::addLine(CoreId core, EpochId epoch, Addr addr)
+{
+    simAssert(core != kNoCore && epoch != kNoEpoch, _name,
+              ": untagged line added to flush engine");
+    auto [it, inserted] = _buckets[Key{core, epoch}].insert(lineAlign(addr));
+    simAssert(inserted, _name, ": line 0x", std::hex, addr, std::dec,
+              " already tracked for core ", core, " epoch ", epoch);
+}
+
+bool
+FlushEngine::removeLine(CoreId core, EpochId epoch, Addr addr)
+{
+    auto it = _buckets.find(Key{core, epoch});
+    if (it == _buckets.end())
+        return false;
+    bool erased = it->second.erase(lineAlign(addr)) > 0;
+    if (it->second.empty())
+        _buckets.erase(it);
+    return erased;
+}
+
+bool
+FlushEngine::hasLine(CoreId core, EpochId epoch, Addr addr) const
+{
+    auto it = _buckets.find(Key{core, epoch});
+    return it != _buckets.end() && it->second.contains(lineAlign(addr));
+}
+
+std::size_t
+FlushEngine::count(CoreId core, EpochId epoch) const
+{
+    auto it = _buckets.find(Key{core, epoch});
+    return it == _buckets.end() ? 0 : it->second.size();
+}
+
+std::vector<Addr>
+FlushEngine::takeAll(CoreId core, EpochId epoch)
+{
+    std::vector<Addr> out;
+    auto it = _buckets.find(Key{core, epoch});
+    if (it == _buckets.end())
+        return out;
+    out.assign(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+    _buckets.erase(it);
+    return out;
+}
+
+std::vector<Addr>
+FlushEngine::snapshot(CoreId core, EpochId epoch) const
+{
+    std::vector<Addr> out;
+    auto it = _buckets.find(Key{core, epoch});
+    if (it == _buckets.end())
+        return out;
+    out.assign(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t
+FlushEngine::totalLines() const
+{
+    std::size_t total = 0;
+    for (const auto &[key, lines] : _buckets)
+        total += lines.size();
+    return total;
+}
+
+} // namespace persim::persist

@@ -1,0 +1,36 @@
+#include "persist/idt_registers.hh"
+
+#include <algorithm>
+
+namespace persim::persist
+{
+
+bool
+IdtRegs::contains(const IdtEntry &e) const
+{
+    return std::find(_entries.begin(), _entries.end(), e) !=
+           _entries.end();
+}
+
+bool
+IdtRegs::add(const IdtEntry &e)
+{
+    if (contains(e))
+        return true;
+    if (full())
+        return false;
+    _entries.push_back(e);
+    return true;
+}
+
+bool
+IdtRegs::remove(const IdtEntry &e)
+{
+    auto it = std::find(_entries.begin(), _entries.end(), e);
+    if (it == _entries.end())
+        return false;
+    _entries.erase(it);
+    return true;
+}
+
+} // namespace persim::persist

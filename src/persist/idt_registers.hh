@@ -1,0 +1,65 @@
+/**
+ * @file
+ * IDT register file: bounded dependence/inform tracking (§3.1, §4.3).
+ */
+
+#ifndef PERSIM_PERSIST_IDT_REGISTERS_HH
+#define PERSIM_PERSIST_IDT_REGISTERS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace persim::persist
+{
+
+/** One IDT register: names an epoch of a (possibly remote) core. */
+struct IdtEntry
+{
+    CoreId core = kNoCore;
+    EpochId epoch = kNoEpoch;
+
+    bool operator==(const IdtEntry &other) const = default;
+};
+
+/**
+ * A bounded set of IdtEntry values, modelling the 4-pairs-per-epoch
+ * hardware budget from §4.3. Insertion fails when full; the caller falls
+ * back to an online flush (the LB behaviour) in that case.
+ */
+class IdtRegs
+{
+  public:
+    explicit IdtRegs(unsigned capacity) : _capacity(capacity) {}
+
+    bool contains(const IdtEntry &e) const;
+
+    bool full() const { return _entries.size() >= _capacity; }
+    bool empty() const { return _entries.empty(); }
+    std::size_t size() const { return _entries.size(); }
+    unsigned capacity() const { return _capacity; }
+
+    /**
+     * Record @p e.
+     *
+     * @return true if recorded (or already present); false if the file is
+     *         full and the entry is absent.
+     */
+    bool add(const IdtEntry &e);
+
+    /** Remove @p e if present; @return true if it was present. */
+    bool remove(const IdtEntry &e);
+
+    const std::vector<IdtEntry> &entries() const { return _entries; }
+
+    void clear() { _entries.clear(); }
+
+  private:
+    unsigned _capacity;
+    std::vector<IdtEntry> _entries;
+};
+
+} // namespace persim::persist
+
+#endif // PERSIM_PERSIST_IDT_REGISTERS_HH

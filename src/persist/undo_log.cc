@@ -1,0 +1,7 @@
+#include "persist/undo_log.hh"
+
+// Header-only; anchors the translation unit.
+
+namespace persim::persist
+{
+} // namespace persim::persist

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-core NVRAM undo-log and checkpoint regions (§5.2.1, §6).
+ */
+
+#ifndef PERSIM_PERSIST_UNDO_LOG_HH
+#define PERSIM_PERSIST_UNDO_LOG_HH
+
+#include "sim/types.hh"
+
+namespace persim::persist
+{
+
+/**
+ * Address-space layout and cursors for the hardware undo log.
+ *
+ * Each core owns a circular log region and a circular checkpoint region
+ * in NVRAM, far above the workload heap. The simulator only needs the
+ * addresses (for controller routing and bandwidth); recovery contents
+ * are not modelled.
+ */
+class UndoLog
+{
+  public:
+    /** Base of the per-core undo-log regions. */
+    static constexpr Addr kLogBase = Addr{1} << 40;
+
+    /** Base of the per-core checkpoint regions. */
+    static constexpr Addr kCheckpointBase = Addr{1} << 41;
+
+    /** Size of one core's log (and checkpoint) region. */
+    static constexpr Addr kRegionBytes = Addr{16} * 1024 * 1024;
+
+    explicit UndoLog(CoreId core)
+        : _logBase(kLogBase + kRegionBytes * core),
+          _ckptBase(kCheckpointBase + kRegionBytes * core)
+    {
+    }
+
+    /** Next log-entry line address (the region is circular). */
+    Addr
+    nextLogLine()
+    {
+        Addr a = _logBase + _logCursor;
+        _logCursor = (_logCursor + kLineBytes) % kRegionBytes;
+        return a;
+    }
+
+    /** Next checkpoint line address. */
+    Addr
+    nextCheckpointLine()
+    {
+        Addr a = _ckptBase + _ckptCursor;
+        _ckptCursor = (_ckptCursor + kLineBytes) % kRegionBytes;
+        return a;
+    }
+
+    /** True if @p addr falls in any log/checkpoint region. */
+    static bool
+    isLogSpace(Addr addr)
+    {
+        return addr >= kLogBase;
+    }
+
+  private:
+    Addr _logBase;
+    Addr _ckptBase;
+    Addr _logCursor = 0;
+    Addr _ckptCursor = 0;
+};
+
+} // namespace persim::persist
+
+#endif // PERSIM_PERSIST_UNDO_LOG_HH

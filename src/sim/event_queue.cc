@@ -1,0 +1,129 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace persim
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    simAssert(when >= _now, "event scheduled in the past: when=", when,
+              " now=", _now);
+    simAssert(static_cast<bool>(cb), "null event callback");
+    EventId id = _nextId++;
+    _heap.push_back(Entry{when, id, std::move(cb)});
+    siftUp(_heap.size() - 1);
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= _nextId)
+        return;
+    // Lazy deletion: mark the id; the entry is discarded when popped.
+    _cancelled.insert(id);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!before(_heap[i], _heap[parent]))
+            break;
+        std::swap(_heap[i], _heap[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = _heap.size();
+    while (true) {
+        std::size_t left = 2 * i + 1;
+        std::size_t right = left + 1;
+        std::size_t smallest = i;
+        if (left < n && before(_heap[left], _heap[smallest]))
+            smallest = left;
+        if (right < n && before(_heap[right], _heap[smallest]))
+            smallest = right;
+        if (smallest == i)
+            break;
+        std::swap(_heap[i], _heap[smallest]);
+        i = smallest;
+    }
+}
+
+bool
+EventQueue::popLive(Entry &out)
+{
+    while (!_heap.empty()) {
+        std::swap(_heap.front(), _heap.back());
+        Entry top = std::move(_heap.back());
+        _heap.pop_back();
+        if (!_heap.empty())
+            siftDown(0);
+        auto it = _cancelled.find(top.id);
+        if (it != _cancelled.end()) {
+            _cancelled.erase(it);
+            continue;
+        }
+        out = std::move(top);
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runNext()
+{
+    Entry e;
+    if (!popLive(e))
+        return false;
+    simAssert(e.when >= _now, "time went backwards");
+    _now = e.when;
+    ++_executed;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t maxEvents)
+{
+    std::uint64_t count = 0;
+    while (count < maxEvents && runNext())
+        ++count;
+    return count;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t count = 0;
+    Entry e;
+    while (!_heap.empty()) {
+        // Peek at the live top without popping if it is beyond the limit.
+        if (!popLive(e))
+            break;
+        if (e.when > limit) {
+            // Put it back; heap property restored by sift.
+            _heap.push_back(std::move(e));
+            siftUp(_heap.size() - 1);
+            break;
+        }
+        _now = e.when;
+        ++_executed;
+        ++count;
+        e.cb();
+    }
+    if (_now < limit)
+        _now = limit;
+    return count;
+}
+
+} // namespace persim

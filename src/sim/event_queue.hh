@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole simulated machine. Events are
+ * (tick, callback) pairs; events scheduled for the same tick execute in
+ * FIFO scheduling order, which makes every simulation fully deterministic
+ * for a given configuration and seed.
+ */
+
+#ifndef PERSIM_SIM_EVENT_QUEUE_HH
+#define PERSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace persim
+{
+
+/**
+ * Deterministic binary-heap event queue.
+ *
+ * The heap is implemented in-house (rather than std::priority_queue) so
+ * that callbacks can be moved out of the heap on pop and so ties break by
+ * insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Handle for cancelling a scheduled event. 0 is never returned. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback executed when the event fires.
+     * @return A handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId scheduleIn(Tick delay, Callback cb)
+    {
+        return schedule(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an event that already fired (or was already cancelled)
+     * is a no-op; handles are never reused.
+     */
+    void cancel(EventId id);
+
+    /**
+     * Pop and execute the next event.
+     *
+     * @return false if the queue was empty (time does not advance).
+     */
+    bool runNext();
+
+    /**
+     * Run events until the queue drains or @p maxEvents have executed.
+     *
+     * @return The number of events executed.
+     */
+    std::uint64_t run(std::uint64_t maxEvents = UINT64_MAX);
+
+    /**
+     * Run all events with tick <= @p limit; afterwards now() == limit
+     * unless the queue drained earlier.
+     *
+     * @return The number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** True when no live events remain. */
+    bool empty() const { return _heap.size() == _cancelled.size(); }
+
+    /** Number of live (non-cancelled) events pending. */
+    std::size_t pending() const { return _heap.size() - _cancelled.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id; // also the FIFO tie-breaker (monotonic)
+        Callback cb;
+    };
+
+    /** True if a orders strictly before b. */
+    static bool before(const Entry &a, const Entry &b)
+    {
+        return a.when < b.when || (a.when == b.when && a.id < b.id);
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Pop the top entry, skipping cancelled ones. False if drained. */
+    bool popLive(Entry &out);
+
+    std::vector<Entry> _heap;
+    std::unordered_set<EventId> _cancelled;
+    Tick _now = 0;
+    EventId _nextId = 1;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,33 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace persim
+{
+
+namespace
+{
+std::atomic<bool> verboseEnabled{false};
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
+}
+
+void
+warnMessage(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << '\n';
+}
+
+void
+informMessage(const std::string &msg)
+{
+    if (verboseEnabled.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << '\n';
+}
+
+} // namespace persim

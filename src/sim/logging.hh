@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic convention.
+ *
+ * panic(): an internal invariant of the simulator was violated (a bug in
+ * persimmon itself). Throws SimPanic.
+ * fatal(): the simulation cannot continue because of a user error (bad
+ * configuration, invalid workload parameters). Throws SimFatal.
+ * warn()/inform(): status messages; never stop the simulation.
+ *
+ * Exceptions (rather than abort/exit) are used so that the library is
+ * testable and embeddable; the example binaries catch SimFatal at
+ * top-level and exit(1).
+ */
+
+#ifndef PERSIM_SIM_LOGGING_HH
+#define PERSIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace persim
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class SimPanic : public std::logic_error
+{
+  public:
+    explicit SimPanic(const std::string &what) : std::logic_error(what) {}
+};
+
+/** Thrown by fatal(): user-caused condition the simulation can't survive. */
+class SimFatal : public std::runtime_error
+{
+  public:
+    explicit SimFatal(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail
+{
+
+inline void
+streamAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    streamAll(os, rest...);
+}
+
+/** Concatenate heterogeneous arguments into one string. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort the simulation. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw SimPanic(detail::concat("panic: ", args...));
+}
+
+/** Report an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw SimFatal(detail::concat("fatal: ", args...));
+}
+
+/** Assert an internal invariant; panics with a message on failure. */
+template <typename... Args>
+void
+simAssert(bool condition, const Args &...args)
+{
+    if (!condition)
+        panic(args...);
+}
+
+/** Emit a warning to stderr (suspicious but survivable condition). */
+void warnMessage(const std::string &msg);
+
+/** Emit an informational message to stderr. */
+void informMessage(const std::string &msg);
+
+/** Enable/disable inform() output globally (warnings always print). */
+void setVerbose(bool verbose);
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnMessage(detail::concat(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informMessage(detail::concat(args...));
+}
+
+} // namespace persim
+
+#endif // PERSIM_SIM_LOGGING_HH

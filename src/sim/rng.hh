@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Each component that needs randomness owns its own Rng seeded from the
+ * system seed and its instance id, so simulations are reproducible and
+ * independent of component construction order.
+ */
+
+#ifndef PERSIM_SIM_RNG_HH
+#define PERSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace persim
+{
+
+/** xoshiro256** by Blackman & Vigna; small, fast, high quality. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding to fill the state from one word.
+        std::uint64_t x = seed;
+        for (auto &word : _s) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free reduction is biased by at
+        // most 2^-64 * bound, negligible for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace persim
+
+#endif // PERSIM_SIM_RNG_HH

@@ -1,0 +1,96 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace persim
+{
+
+Scalar::Scalar(StatGroup *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->add(this);
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->add(this);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+    }
+    ++_count;
+    _sum += v;
+    _sumSq += v * v;
+}
+
+double
+Distribution::stdev() const
+{
+    if (_count == 0)
+        return 0.0;
+    double m = mean();
+    double var = _sumSq / _count - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = _sumSq = _min = _max = 0.0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Scalar *s : _scalars) {
+        os << std::left << std::setw(48) << (_name + "." + s->name())
+           << ' ' << std::setw(16) << s->value() << " # " << s->desc()
+           << '\n';
+    }
+    for (const Distribution *d : _dists) {
+        os << std::left << std::setw(48)
+           << (_name + "." + d->name() + ".mean") << ' ' << std::setw(16)
+           << d->mean() << " # " << d->desc() << " (n=" << d->count()
+           << ", min=" << d->min() << ", max=" << d->max() << ")\n";
+    }
+}
+
+void
+StatGroup::toMap(std::map<std::string, double> &out) const
+{
+    for (const Scalar *s : _scalars)
+        out[_name + "." + s->name()] = static_cast<double>(s->value());
+    for (const Distribution *d : _dists) {
+        out[_name + "." + d->name() + ".count"] =
+            static_cast<double>(d->count());
+        out[_name + "." + d->name() + ".mean"] = d->mean();
+        out[_name + "." + d->name() + ".sum"] = d->sum();
+        out[_name + "." + d->name() + ".max"] = d->max();
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Scalar *s : _scalars)
+        s->reset();
+    for (Distribution *d : _dists)
+        d->reset();
+}
+
+} // namespace persim

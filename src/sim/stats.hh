@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Lightweight statistics package (counters and distributions).
+ *
+ * Components declare stats as members and register them with a StatGroup;
+ * System aggregates all groups and can dump them as text or expose them as
+ * a flat name->value map for tests and benchmark harnesses.
+ */
+
+#ifndef PERSIM_SIM_STATS_HH
+#define PERSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace persim
+{
+
+class StatGroup;
+
+/** A monotonically increasing 64-bit event counter. */
+class Scalar
+{
+  public:
+    /**
+     * @param parent Group the stat registers with (may be nullptr for
+     *               free-standing counters in tests).
+     * @param name Stat name within the group, e.g. "loads".
+     * @param desc One-line description for dumps.
+     */
+    Scalar(StatGroup *parent, std::string name, std::string desc);
+
+    void inc(std::uint64_t n = 1) { _value += n; }
+    Scalar &operator+=(std::uint64_t n)
+    {
+        _value += n;
+        return *this;
+    }
+    Scalar &operator++()
+    {
+        ++_value;
+        return *this;
+    }
+
+    std::uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    void reset() { _value = 0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::uint64_t _value = 0;
+};
+
+/** Streaming distribution: count / sum / min / max / mean / stdev. */
+class Distribution
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    /** Population standard deviation. */
+    double stdev() const;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    void reset();
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A named collection of stats belonging to one component.
+ *
+ * The group does not own the stats; they are members of the component and
+ * must outlive the group's use.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    void add(Scalar *s) { _scalars.push_back(s); }
+    void add(Distribution *d) { _dists.push_back(d); }
+
+    const std::vector<Scalar *> &scalars() const { return _scalars; }
+    const std::vector<Distribution *> &distributions() const
+    {
+        return _dists;
+    }
+
+    /** Append "<group>.<stat> value # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Merge this group's values into @p out as "<group>.<stat>" keys. */
+    void toMap(std::map<std::string, double> &out) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    std::vector<Scalar *> _scalars;
+    std::vector<Distribution *> _dists;
+};
+
+} // namespace persim
+
+#endif // PERSIM_SIM_STATS_HH

@@ -1,0 +1,63 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace persim::trace
+{
+
+namespace
+{
+
+struct TraceState
+{
+    bool any = false;
+    bool all = false;
+    std::set<std::string> flags;
+
+    TraceState()
+    {
+        const char *env = std::getenv("PERSIM_TRACE");
+        if (!env || !*env)
+            return;
+        any = true;
+        std::stringstream ss(env);
+        std::string flag;
+        while (std::getline(ss, flag, ',')) {
+            if (flag == "all")
+                all = true;
+            else if (!flag.empty())
+                flags.insert(flag);
+        }
+    }
+};
+
+const TraceState &
+state()
+{
+    static const TraceState s;
+    return s;
+}
+
+} // namespace
+
+bool
+enabled(const char *flag)
+{
+    const TraceState &s = state();
+    return s.any && (s.all || s.flags.contains(flag));
+}
+
+void
+emit(const char *flag, Tick when, const std::string &who,
+     const std::string &message)
+{
+    std::fprintf(stderr, "%10llu: %s: %s: %s\n",
+                 static_cast<unsigned long long>(when), flag,
+                 who.c_str(), message.c_str());
+}
+
+} // namespace persim::trace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lightweight debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Trace flags are plain strings ("Epoch", "Cache", "Mesh", ...).
+ * Enable them with the PERSIM_TRACE environment variable:
+ *
+ *   PERSIM_TRACE=Epoch,Flush ./examples/quickstart
+ *   PERSIM_TRACE=all         ./build/tools/persim_cli ...
+ *
+ * Tracing compiles in but costs one branch per call site when disabled;
+ * the message is only formatted when its flag is on.
+ */
+
+#ifndef PERSIM_SIM_TRACE_HH
+#define PERSIM_SIM_TRACE_HH
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace persim
+{
+
+namespace trace
+{
+
+/** True when @p flag (or "all") was listed in PERSIM_TRACE. */
+bool enabled(const char *flag);
+
+/** Emit one trace line: "<tick>: <flag>: <name>: <message>". */
+void emit(const char *flag, Tick when, const std::string &who,
+          const std::string &message);
+
+} // namespace trace
+
+/**
+ * Trace helper for SimObjects (and anything with curTick()/name()).
+ *
+ * Usage: tracef("Epoch", *this, "epoch ", id, " persisted");
+ */
+template <typename Obj, typename... Args>
+void
+tracef(const char *flag, const Obj &obj, const Args &...args)
+{
+    if (!trace::enabled(flag))
+        return;
+    trace::emit(flag, obj.curTick(), obj.name(),
+                detail::concat(args...));
+}
+
+} // namespace persim
+
+#endif // PERSIM_SIM_TRACE_HH

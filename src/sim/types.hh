@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef PERSIM_SIM_TYPES_HH
+#define PERSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace persim
+{
+
+/** Simulated time, in core clock cycles (2GHz in the default config). */
+using Tick = std::uint64_t;
+
+/** A physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core (and of the thread pinned to it). */
+using CoreId = std::uint16_t;
+
+/**
+ * Monotonically increasing per-core epoch sequence number.
+ *
+ * Real hardware truncates this to a small tag (3 bits in the paper);
+ * truncation is unambiguous because at most kMaxInflightEpochs epochs of
+ * one core are in flight at a time. The simulator keeps the full sequence
+ * number and enforces the in-flight window explicitly.
+ */
+using EpochId = std::uint64_t;
+
+/** Sentinel for "no epoch": lines never written under a tracked epoch. */
+constexpr EpochId kNoEpoch = std::numeric_limits<EpochId>::max();
+
+/** Sentinel for "no core". */
+constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel tick meaning "never" / unscheduled. */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Cache line size in bytes; fixed across the hierarchy (Table 1). */
+constexpr unsigned kLineBytes = 64;
+
+/** Shift to convert an address to a line number. */
+constexpr unsigned kLineShift = 6;
+
+/** Align an address down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number (address / 64) of an address. */
+constexpr Addr
+lineNum(Addr a)
+{
+    return a >> kLineShift;
+}
+
+} // namespace persim
+
+#endif // PERSIM_SIM_TYPES_HH

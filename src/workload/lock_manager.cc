@@ -1,0 +1,37 @@
+#include "workload/lock_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::workload
+{
+
+bool
+LockManager::tryAcquire(Addr lockAddr, CoreId thread)
+{
+    auto [it, inserted] = _held.try_emplace(lineAlign(lockAddr), thread);
+    if (inserted) {
+        ++_acquisitions;
+        return true;
+    }
+    simAssert(it->second != thread, "recursive lock acquisition");
+    ++_contended;
+    return false;
+}
+
+void
+LockManager::release(Addr lockAddr, CoreId thread)
+{
+    auto it = _held.find(lineAlign(lockAddr));
+    simAssert(it != _held.end() && it->second == thread,
+              "release of a lock not held by thread ", thread);
+    _held.erase(it);
+}
+
+CoreId
+LockManager::holder(Addr lockAddr) const
+{
+    auto it = _held.find(lineAlign(lockAddr));
+    return it == _held.end() ? kNoCore : it->second;
+}
+
+} // namespace persim::workload

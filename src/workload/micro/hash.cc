@@ -1,0 +1,99 @@
+#include "workload/micro/hash.hh"
+
+namespace persim::workload
+{
+
+HashTableState::HashTableState(unsigned bucketsPerThread_,
+                               unsigned numThreads_)
+    : bucketsPerThread(bucketsPerThread_),
+      numThreads(numThreads_),
+      metaBase(NvHeap::kDefaultBase -
+               static_cast<Addr>(bucketsPerThread_) * numThreads_ * 2 *
+                   kLineBytes),
+      chains(bucketsPerThread_ * numThreads_)
+{
+}
+
+unsigned
+HashBenchmark::pickBucket()
+{
+    unsigned slice = params().thread;
+    if (_state->numThreads > 1 && rng().chance(params().crossFraction)) {
+        slice = static_cast<unsigned>(rng().below(_state->numThreads));
+    }
+    return slice * _state->bucketsPerThread +
+           static_cast<unsigned>(rng().below(_state->bucketsPerThread));
+}
+
+void
+HashBenchmark::buildTransaction()
+{
+    const unsigned b = pickBucket();
+    const double r = rng().real();
+    if (r < params().searchFraction) {
+        buildSearch(b);
+    } else if (rng().chance(0.5) && !_state->chains[b].empty()) {
+        buildDelete(b);
+    } else {
+        buildInsert(b);
+    }
+    emitCompute(params().thinkCycles);
+    emitTxnDone();
+}
+
+void
+HashBenchmark::buildSearch(unsigned b)
+{
+    emitLoad(_state->headAddr(b));
+    auto &chain = _state->chains[b];
+    if (!chain.empty()) {
+        const Addr entry = chain[rng().below(chain.size())].addr;
+        emitEntryRead(entry);
+    }
+}
+
+void
+HashBenchmark::buildInsert(unsigned b)
+{
+    const Addr lock = _state->lockAddr(b);
+    const Addr entry =
+        _state->heap.alloc(kEntryBytes, params().thread);
+    _state->chains[b].push_back(
+        HashTableState::Entry{entry, params().thread});
+
+    emitLockAcquire(lock);
+    emitLoad(_state->headAddr(b)); // read the old head for the link
+    emitEntryWrite(entry);         // Epoch A: the new entry's payload
+    emitBarrier();
+    emitStore(_state->headAddr(b)); // Epoch B: publish the entry
+    emitBarrier();
+    emitLockRelease(lock);
+}
+
+void
+HashBenchmark::buildDelete(unsigned b)
+{
+    const Addr lock = _state->lockAddr(b);
+    auto &chain = _state->chains[b];
+    // Prefer an entry we inserted ourselves (it returns to our pool).
+    std::size_t idx = chain.size() - 1;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+        if (chain[i].owner == params().thread) {
+            idx = i;
+            break;
+        }
+    }
+    const Addr victim = chain[idx].addr;
+    chain[idx] = chain.back();
+    chain.pop_back();
+    _state->heap.free(victim, kEntryBytes, params().thread);
+
+    emitLockAcquire(lock);
+    emitLoad(_state->headAddr(b));
+    emitLoad(victim);               // read the victim's next pointer
+    emitStore(_state->headAddr(b)); // Epoch A: unlink
+    emitBarrier();
+    emitLockRelease(lock);
+}
+
+} // namespace persim::workload

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hash-table micro-benchmark (Table 2): insert/delete/search of 512B
+ * entries, NVHeaps-style.
+ *
+ * The table is partitioned: each thread owns a slice of the buckets and
+ * mostly operates there (reusing its own freed entries — the source of
+ * the intra-thread conflicts that dominate the paper's BEP results);
+ * a configurable fraction of operations crosses into a neighbour's
+ * slice under that bucket's lock, producing inter-thread conflicts.
+ */
+
+#ifndef PERSIM_WORKLOAD_MICRO_HASH_HH
+#define PERSIM_WORKLOAD_MICRO_HASH_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/micro/micro_benchmark.hh"
+
+namespace persim::workload
+{
+
+/** Shared (host-side) state of one hash table. */
+struct HashTableState
+{
+    /**
+     * @param bucketsPerThread Buckets in each thread's slice.
+     * @param numThreads Number of slices.
+     */
+    HashTableState(unsigned bucketsPerThread, unsigned numThreads);
+
+    NvHeap heap;
+    LockManager locks;
+    unsigned bucketsPerThread;
+    unsigned numThreads;
+    Addr metaBase;
+
+    unsigned totalBuckets() const
+    {
+        return bucketsPerThread * numThreads;
+    }
+
+    /** Line holding bucket @p b's head pointer. */
+    Addr headAddr(unsigned b) const
+    {
+        return metaBase + static_cast<Addr>(b) * 2 * kLineBytes;
+    }
+    /** Line holding bucket @p b's lock word. */
+    Addr lockAddr(unsigned b) const
+    {
+        return headAddr(b) + kLineBytes;
+    }
+
+    /** Host-side chains: entry base + inserting thread, per bucket. */
+    struct Entry
+    {
+        Addr addr;
+        CoreId owner;
+    };
+    std::vector<std::vector<Entry>> chains;
+};
+
+/** One thread of the hash micro-benchmark. */
+class HashBenchmark : public MicroBenchmark
+{
+  public:
+    HashBenchmark(const MicroParams &params,
+                  std::shared_ptr<HashTableState> state)
+        : MicroBenchmark(params, state->locks), _state(std::move(state))
+    {
+    }
+
+  protected:
+    void buildTransaction() override;
+
+  private:
+    /** Pick a bucket: usually in our slice, sometimes a neighbour's. */
+    unsigned pickBucket();
+    void buildInsert(unsigned bucket);
+    void buildDelete(unsigned bucket);
+    void buildSearch(unsigned bucket);
+
+    std::shared_ptr<HashTableState> _state;
+};
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_MICRO_HASH_HH

@@ -1,0 +1,145 @@
+#include "workload/micro/micro_benchmark.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::workload
+{
+
+MicroBenchmark::MicroBenchmark(const MicroParams &params,
+                               LockManager &locks)
+    : _params(params),
+      _locks(locks),
+      _rng(params.seed * 0x5851F42D4C957F2DULL + params.thread + 1)
+{
+}
+
+void
+MicroBenchmark::emitLoad(Addr a)
+{
+    _steps.push_back(Step{Step::Kind::Op, cpu::MemOp::load(a), 0});
+}
+
+void
+MicroBenchmark::emitStore(Addr a)
+{
+    _steps.push_back(Step{Step::Kind::Op, cpu::MemOp::store(a), 0});
+}
+
+void
+MicroBenchmark::emitBarrier()
+{
+    _steps.push_back(Step{Step::Kind::Op, cpu::MemOp::barrier(), 0});
+}
+
+void
+MicroBenchmark::emitCompute(std::uint32_t cycles)
+{
+    _steps.push_back(Step{Step::Kind::Op, cpu::MemOp::compute(cycles), 0});
+}
+
+void
+MicroBenchmark::emitEntryRead(Addr base, unsigned lines)
+{
+    for (unsigned i = 0; i < lines; ++i)
+        emitLoad(base + static_cast<Addr>(i) * kLineBytes);
+}
+
+void
+MicroBenchmark::emitEntryWrite(Addr base, unsigned lines)
+{
+    for (unsigned i = 0; i < lines; ++i)
+        emitStore(base + static_cast<Addr>(i) * kLineBytes);
+}
+
+void
+MicroBenchmark::emitLockAcquire(Addr lockAddr)
+{
+    if (!_params.useLocks)
+        return;
+    _steps.push_back(
+        Step{Step::Kind::LockAcquire, cpu::MemOp::halt(), lockAddr});
+}
+
+void
+MicroBenchmark::emitLockRelease(Addr lockAddr)
+{
+    if (!_params.useLocks)
+        return;
+    _steps.push_back(
+        Step{Step::Kind::LockRelease, cpu::MemOp::halt(), lockAddr});
+}
+
+void
+MicroBenchmark::emitTxnDone()
+{
+    _steps.push_back(Step{Step::Kind::TxnDone, cpu::MemOp::halt(), 0});
+}
+
+cpu::MemOp
+MicroBenchmark::next(Tick now)
+{
+    (void)now;
+    while (true) {
+        if (_haltEmitted)
+            return cpu::MemOp::halt();
+        if (_steps.empty()) {
+            if (_transactions >= _params.opsPerThread) {
+                _haltEmitted = true;
+                return cpu::MemOp::halt();
+            }
+            buildTransaction();
+            simAssert(!_steps.empty(),
+                      "buildTransaction emitted nothing");
+        }
+        Step &front = _steps.front();
+        switch (front.kind) {
+          case Step::Kind::Op: {
+            cpu::MemOp op = front.op;
+            _steps.pop_front();
+            return op;
+          }
+          case Step::Kind::LockAcquire:
+            // Probe the lock word; onLoadComplete decides the outcome.
+            simAssert(!_probeOutstanding, "nested lock probe");
+            _probeOutstanding = true;
+            return cpu::MemOp::load(front.lock);
+          case Step::Kind::LockRelease: {
+            const Addr lock = front.lock;
+            _steps.pop_front();
+            _locks.release(lock, _params.thread);
+            return cpu::MemOp::store(lock);
+          }
+          case Step::Kind::TxnDone:
+            _steps.pop_front();
+            ++_transactions;
+            continue;
+        }
+    }
+}
+
+void
+MicroBenchmark::onLoadComplete(Addr addr, Tick now)
+{
+    (void)now;
+    if (!_probeOutstanding)
+        return;
+    simAssert(!_steps.empty() &&
+                  _steps.front().kind == Step::Kind::LockAcquire &&
+                  lineAlign(_steps.front().lock) == lineAlign(addr),
+              "lock probe completion out of order");
+    _probeOutstanding = false;
+    if (_locks.tryAcquire(addr, _params.thread)) {
+        // Acquired: replace the probe with the CAS store.
+        _steps.front() =
+            Step{Step::Kind::Op, cpu::MemOp::store(addr), 0};
+    } else {
+        // Contended: back off, then probe again.
+        _steps.push_front(Step{
+            Step::Kind::Op,
+            cpu::MemOp::compute(
+                static_cast<std::uint32_t>(20 + _rng.below(80))),
+            0});
+    }
+}
+
+} // namespace persim::workload

@@ -1,0 +1,59 @@
+#include "workload/micro/queue.hh"
+
+namespace persim::workload
+{
+
+QueueState::QueueState(unsigned slots)
+    : numSlots(slots),
+      dataBase(NvHeap::kDefaultBase - Addr{16} * 1024 * 1024),
+      headAddr(dataBase - 4 * kLineBytes),
+      tailAddr(dataBase - 3 * kLineBytes),
+      lockWord(dataBase - 2 * kLineBytes)
+{
+}
+
+void
+QueueBenchmark::buildTransaction()
+{
+    // Keep the queue roughly half full: insert when empty, delete when
+    // full, otherwise flip a coin.
+    if (_state->empty() || (!_state->full() && rng().chance(0.5)))
+        buildInsert();
+    else
+        buildDelete();
+    emitCompute(params().thinkCycles);
+    emitTxnDone();
+}
+
+void
+QueueBenchmark::buildInsert()
+{
+    const unsigned slot = _state->head;
+    _state->head = (_state->head + 1) % _state->numSlots;
+
+    emitLockAcquire(_state->lockWord);
+    emitLoad(_state->headAddr);
+    // QUEUE_INSERT (Figure 10): Epoch A copies the entry at Head...
+    emitEntryWrite(_state->slotAddr(slot));
+    emitBarrier();
+    // ...Epoch B bumps the Head pointer.
+    emitStore(_state->headAddr);
+    emitBarrier();
+    emitLockRelease(_state->lockWord);
+}
+
+void
+QueueBenchmark::buildDelete()
+{
+    const unsigned slot = _state->tail;
+    _state->tail = (_state->tail + 1) % _state->numSlots;
+
+    emitLockAcquire(_state->lockWord);
+    emitLoad(_state->tailAddr);
+    emitEntryRead(_state->slotAddr(slot)); // consume the entry
+    emitStore(_state->tailAddr);           // bump the tail
+    emitBarrier();
+    emitLockRelease(_state->lockWord);
+}
+
+} // namespace persim::workload

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Queue micro-benchmark: the copy-while-locked persistent queue of
+ * Pelley et al. (§5.1, Figure 10).
+ */
+
+#ifndef PERSIM_WORKLOAD_MICRO_QUEUE_HH
+#define PERSIM_WORKLOAD_MICRO_QUEUE_HH
+
+#include <memory>
+
+#include "workload/micro/micro_benchmark.hh"
+
+namespace persim::workload
+{
+
+/** Shared state of the persistent ring queue. */
+struct QueueState
+{
+    explicit QueueState(unsigned slots);
+
+    NvHeap heap;
+    LockManager locks;
+    unsigned numSlots;
+    Addr dataBase;  // slots of kEntryBytes each
+    Addr headAddr;  // line holding the head index
+    Addr tailAddr;  // line holding the tail index
+    Addr lockWord;  // the queue's global lock
+
+    unsigned head = 0; // host-side indices
+    unsigned tail = 0;
+
+    Addr slotAddr(unsigned s) const
+    {
+        return dataBase + static_cast<Addr>(s) * kEntryBytes;
+    }
+    bool empty() const { return head == tail; }
+    bool full() const { return (head + 1) % numSlots == tail; }
+};
+
+/** One thread of the queue micro-benchmark. */
+class QueueBenchmark : public MicroBenchmark
+{
+  public:
+    QueueBenchmark(const MicroParams &params,
+                   std::shared_ptr<QueueState> state)
+        : MicroBenchmark(params, state->locks), _state(std::move(state))
+    {
+    }
+
+  protected:
+    void buildTransaction() override;
+
+  private:
+    void buildInsert();
+    void buildDelete();
+
+    std::shared_ptr<QueueState> _state;
+};
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_MICRO_QUEUE_HH

@@ -1,0 +1,119 @@
+#include "workload/micro/sdg.hh"
+
+#include <algorithm>
+
+namespace persim::workload
+{
+
+SdgState::SdgState(unsigned verticesPerThread_, unsigned numThreads_)
+    : verticesPerThread(verticesPerThread_),
+      numThreads(numThreads_),
+      numVertices(verticesPerThread_ * numThreads_),
+      metaBase(NvHeap::kDefaultBase -
+               static_cast<Addr>(numVertices) * 2 * kLineBytes),
+      adjacency(numVertices)
+{
+}
+
+unsigned
+SdgBenchmark::pickVertex(bool allowCross)
+{
+    unsigned part = params().thread;
+    if (allowCross && _state->numThreads > 1 &&
+        rng().chance(params().crossFraction)) {
+        part = static_cast<unsigned>(rng().below(_state->numThreads));
+    }
+    return part * _state->verticesPerThread +
+           static_cast<unsigned>(rng().below(_state->verticesPerThread));
+}
+
+void
+SdgBenchmark::buildTransaction()
+{
+    const unsigned u = pickVertex(/*allowCross=*/false);
+    const double r = rng().real();
+    if (r < params().searchFraction) {
+        buildSearch(u);
+    } else if (rng().chance(0.5) && !_state->adjacency[u].empty()) {
+        buildDelete(u);
+    } else {
+        unsigned v = pickVertex(/*allowCross=*/true);
+        if (v == u)
+            v = params().thread * _state->verticesPerThread +
+                (v + 1 - params().thread * _state->verticesPerThread) %
+                    _state->verticesPerThread;
+        buildInsert(u, v);
+    }
+    emitCompute(params().thinkCycles);
+    emitTxnDone();
+}
+
+void
+SdgBenchmark::buildSearch(unsigned u)
+{
+    emitLoad(_state->headAddr(u));
+    auto &adj = _state->adjacency[u];
+    if (!adj.empty()) {
+        const auto &edge = adj[rng().below(adj.size())];
+        emitEntryRead(edge.entry);
+    }
+}
+
+void
+SdgBenchmark::buildInsert(unsigned u, unsigned v)
+{
+    // Lock both endpoints in address order (no lock-order deadlocks;
+    // persistence deadlocks are the persist machinery's job, §3.3).
+    const unsigned lo = std::min(u, v);
+    const unsigned hi = std::max(u, v);
+    const Addr entry = _state->heap.alloc(kEntryBytes, params().thread);
+    _state->adjacency[u].push_back(SdgState::Edge{entry, v});
+    _state->adjacency[v].push_back(SdgState::Edge{entry, u});
+
+    emitLockAcquire(_state->lockAddr(lo));
+    emitLockAcquire(_state->lockAddr(hi));
+    emitLoad(_state->headAddr(u));
+    emitLoad(_state->headAddr(v));
+    emitEntryWrite(entry); // Epoch A: the edge record
+    emitBarrier();
+    emitStore(_state->headAddr(u)); // Epoch B: publish on both lists
+    emitStore(_state->headAddr(v));
+    emitBarrier();
+    emitLockRelease(_state->lockAddr(hi));
+    emitLockRelease(_state->lockAddr(lo));
+}
+
+void
+SdgBenchmark::buildDelete(unsigned u)
+{
+    auto &adjU = _state->adjacency[u];
+    const std::size_t idx = rng().below(adjU.size());
+    const SdgState::Edge edge = adjU[idx];
+    const unsigned v = edge.peer;
+    adjU[idx] = adjU.back();
+    adjU.pop_back();
+    auto &adjV = _state->adjacency[v];
+    for (std::size_t i = 0; i < adjV.size(); ++i) {
+        if (adjV[i].entry == edge.entry && adjV[i].peer == u) {
+            adjV[i] = adjV.back();
+            adjV.pop_back();
+            break;
+        }
+    }
+    _state->heap.free(edge.entry, kEntryBytes, params().thread);
+
+    const unsigned lo = std::min(u, v);
+    const unsigned hi = std::max(u, v);
+    emitLockAcquire(_state->lockAddr(lo));
+    emitLockAcquire(_state->lockAddr(hi));
+    emitLoad(_state->headAddr(u));
+    emitLoad(_state->headAddr(v));
+    emitLoad(edge.entry);           // read the edge's link fields
+    emitStore(_state->headAddr(u)); // Epoch A: unlink from both lists
+    emitStore(_state->headAddr(v));
+    emitBarrier();
+    emitLockRelease(_state->lockAddr(hi));
+    emitLockRelease(_state->lockAddr(lo));
+}
+
+} // namespace persim::workload

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SDG micro-benchmark (Table 2): insert/delete edges in a scalable
+ * graph with per-vertex adjacency lists and per-vertex locks.
+ */
+
+#ifndef PERSIM_WORKLOAD_MICRO_SDG_HH
+#define PERSIM_WORKLOAD_MICRO_SDG_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/micro/micro_benchmark.hh"
+
+namespace persim::workload
+{
+
+/** Shared state of the graph (vertex set partitioned per thread). */
+struct SdgState
+{
+    SdgState(unsigned verticesPerThread, unsigned numThreads);
+
+    NvHeap heap;
+    LockManager locks;
+    unsigned verticesPerThread;
+    unsigned numThreads;
+    unsigned numVertices;
+    Addr metaBase;
+
+    /** Line holding vertex @p v's adjacency-list head. */
+    Addr headAddr(unsigned v) const
+    {
+        return metaBase + static_cast<Addr>(v) * 2 * kLineBytes;
+    }
+    /** Line holding vertex @p v's lock word. */
+    Addr lockAddr(unsigned v) const
+    {
+        return headAddr(v) + kLineBytes;
+    }
+
+    /** Host-side edge entries per vertex (edge entry base, peer). */
+    struct Edge
+    {
+        Addr entry;
+        unsigned peer;
+    };
+    std::vector<std::vector<Edge>> adjacency;
+};
+
+/** One thread inserting/deleting edges. */
+class SdgBenchmark : public MicroBenchmark
+{
+  public:
+    SdgBenchmark(const MicroParams &params,
+                 std::shared_ptr<SdgState> state)
+        : MicroBenchmark(params, state->locks), _state(std::move(state))
+    {
+    }
+
+  protected:
+    void buildTransaction() override;
+
+  private:
+    unsigned pickVertex(bool allowCross);
+    void buildInsert(unsigned u, unsigned v);
+    void buildDelete(unsigned u);
+    void buildSearch(unsigned u);
+
+    std::shared_ptr<SdgState> _state;
+};
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_MICRO_SDG_HH

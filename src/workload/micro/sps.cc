@@ -1,0 +1,39 @@
+#include "workload/micro/sps.hh"
+
+namespace persim::workload
+{
+
+unsigned
+SpsBenchmark::pickIndex(bool allowCross)
+{
+    unsigned segment = params().thread;
+    if (allowCross && _state->numThreads > 1 &&
+        rng().chance(params().crossFraction)) {
+        segment = static_cast<unsigned>(rng().below(_state->numThreads));
+    }
+    return segment * _state->entriesPerThread +
+           static_cast<unsigned>(rng().below(_state->entriesPerThread));
+}
+
+void
+SpsBenchmark::buildTransaction()
+{
+    const unsigned i = pickIndex(/*allowCross=*/false);
+    unsigned j = pickIndex(/*allowCross=*/true);
+    if (j == i)
+        j = params().thread * _state->entriesPerThread +
+            (j + 1 - params().thread * _state->entriesPerThread) %
+                _state->entriesPerThread;
+
+    // Read both entries, then write both; the barrier makes the swap a
+    // recoverable unit (a torn swap is undone by re-running it).
+    emitEntryRead(_state->entryAddr(i));
+    emitEntryRead(_state->entryAddr(j));
+    emitEntryWrite(_state->entryAddr(i));
+    emitEntryWrite(_state->entryAddr(j));
+    emitBarrier();
+    emitCompute(params().thinkCycles);
+    emitTxnDone();
+}
+
+} // namespace persim::workload

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SPS micro-benchmark (Table 2): random swaps between array entries.
+ *
+ * The array is segmented per thread; swaps stay inside the thread's
+ * segment except for a configurable fraction that picks one index from
+ * a random segment (the inter-thread component).
+ */
+
+#ifndef PERSIM_WORKLOAD_MICRO_SPS_HH
+#define PERSIM_WORKLOAD_MICRO_SPS_HH
+
+#include <memory>
+
+#include "workload/micro/micro_benchmark.hh"
+
+namespace persim::workload
+{
+
+/** Shared state: a persistent array of 512B entries. */
+struct SpsState
+{
+    SpsState(unsigned entriesPerThread_, unsigned numThreads_)
+        : entriesPerThread(entriesPerThread_),
+          numThreads(numThreads_),
+          base(NvHeap::kDefaultBase)
+    {
+    }
+
+    LockManager locks; // unused (SPS is lock-free) but required by base
+    unsigned entriesPerThread;
+    unsigned numThreads;
+    Addr base;
+
+    unsigned totalEntries() const
+    {
+        return entriesPerThread * numThreads;
+    }
+
+    Addr entryAddr(unsigned i) const
+    {
+        return base + static_cast<Addr>(i) * kEntryBytes;
+    }
+};
+
+/** One thread performing random persistent swaps. */
+class SpsBenchmark : public MicroBenchmark
+{
+  public:
+    SpsBenchmark(const MicroParams &params,
+                 std::shared_ptr<SpsState> state)
+        : MicroBenchmark(params, state->locks), _state(std::move(state))
+    {
+    }
+
+  protected:
+    void buildTransaction() override;
+
+  private:
+    unsigned pickIndex(bool allowCross);
+
+    std::shared_ptr<SpsState> _state;
+};
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_MICRO_SPS_HH

@@ -1,0 +1,40 @@
+#include "workload/nv_heap.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::workload
+{
+
+NvHeap::NvHeap(Addr base, Addr sizeBytes) : _base(base), _size(sizeBytes)
+{
+    simAssert(lineAlign(base) == base, "heap base must be line-aligned");
+}
+
+Addr
+NvHeap::alloc(std::uint64_t bytes, CoreId thread)
+{
+    const std::uint64_t sz = roundUp(bytes);
+    _liveBytes += sz;
+    auto it = _freeLists.find(classKey(sz, thread));
+    if (it != _freeLists.end() && !it->second.empty()) {
+        Addr a = it->second.back();
+        it->second.pop_back();
+        return a;
+    }
+    if (_cursor + sz > _size)
+        fatal("NvHeap exhausted (", _size, " bytes)");
+    Addr a = _base + _cursor;
+    _cursor += sz;
+    return a;
+}
+
+void
+NvHeap::free(Addr addr, std::uint64_t bytes, CoreId thread)
+{
+    const std::uint64_t sz = roundUp(bytes);
+    simAssert(_liveBytes >= sz, "NvHeap double free");
+    _liveBytes -= sz;
+    _freeLists[classKey(sz, thread)].push_back(addr);
+}
+
+} // namespace persim::workload

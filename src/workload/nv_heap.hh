@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulated persistent-heap allocator for the micro-benchmarks.
+ */
+
+#ifndef PERSIM_WORKLOAD_NV_HEAP_HH
+#define PERSIM_WORKLOAD_NV_HEAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace persim::workload
+{
+
+/**
+ * A host-side allocator handing out simulated NVRAM addresses.
+ *
+ * The micro-benchmarks allocate 512-byte entries (Table 2); reusing
+ * freed entries is what produces the intra-thread conflict behaviour the
+ * paper studies, so the allocator is LIFO per size class (a freed entry
+ * is the next one handed out).
+ */
+class NvHeap
+{
+  public:
+    /** Default base of the workload heap (below the log regions). */
+    static constexpr Addr kDefaultBase = Addr{1} << 32;
+
+    explicit NvHeap(Addr base = kDefaultBase, Addr sizeBytes = Addr{1}
+                                                              << 32);
+
+    /**
+     * Allocate @p bytes (rounded up to a line multiple) on behalf of
+     * @p thread. A thread's own freed entries are reused first (LIFO) —
+     * NVHeaps-style per-thread allocation pools, which is what makes
+     * re-allocation produce intra-thread (not inter-thread) conflicts.
+     * @return Line-aligned address.
+     */
+    Addr alloc(std::uint64_t bytes, CoreId thread = 0);
+
+    /** Return @p addr (from alloc(bytes)) to @p thread's free list. */
+    void free(Addr addr, std::uint64_t bytes, CoreId thread = 0);
+
+    /** Bytes handed out and never freed. */
+    std::uint64_t liveBytes() const { return _liveBytes; }
+
+    /** Current bump-pointer offset (diagnostics). */
+    Addr used() const { return _cursor; }
+
+  private:
+    static std::uint64_t roundUp(std::uint64_t bytes)
+    {
+        return (bytes + kLineBytes - 1) & ~std::uint64_t{kLineBytes - 1};
+    }
+
+    static std::uint64_t
+    classKey(std::uint64_t sz, CoreId thread)
+    {
+        return (static_cast<std::uint64_t>(thread) << 48) | sz;
+    }
+
+    Addr _base;
+    Addr _size;
+    Addr _cursor = 0;
+    std::uint64_t _liveBytes = 0;
+    std::unordered_map<std::uint64_t, std::vector<Addr>> _freeLists;
+};
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_NV_HEAP_HH

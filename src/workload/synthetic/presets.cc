@@ -1,0 +1,115 @@
+#include "workload/synthetic/presets.hh"
+
+#include "sim/logging.hh"
+
+namespace persim::workload
+{
+
+const std::vector<std::string> &
+syntheticPresetNames()
+{
+    static const std::vector<std::string> names = {
+        "canneal", "dedup",    "freqmine", "barnes",   "cholesky",
+        "radix",   "intruder", "ssca2",    "vacation",
+    };
+    return names;
+}
+
+TraceGenParams
+syntheticPreset(const std::string &name)
+{
+    TraceGenParams p;
+    p.name = name;
+    if (name == "canneal") {
+        // Simulated annealing over a huge netlist: random pointer
+        // chasing over a large footprint, element swaps across threads.
+        p.storeFraction = 0.30;
+        p.sharedFraction = 0.15;
+        p.privateLines = 32768;
+        p.sharedLines = 65536;
+        p.hotProbability = 0.25; // poor temporal locality
+        p.sequentialProbability = 0.10;
+        p.computeMax = 6;
+    } else if (name == "dedup") {
+        // Pipelined compression: store-heavy, hashed shared dictionary.
+        p.storeFraction = 0.40;
+        p.sharedFraction = 0.12;
+        p.privateLines = 8192;
+        p.sharedLines = 32768;
+        p.hotProbability = 0.45;
+        p.sequentialProbability = 0.45;
+        p.computeMax = 6;
+    } else if (name == "freqmine") {
+        // FP-growth mining: read-dominated traversal of a shared tree.
+        p.storeFraction = 0.18;
+        p.sharedFraction = 0.18;
+        p.privateLines = 8192;
+        p.sharedLines = 32768;
+        p.hotProbability = 0.55;
+        p.sequentialProbability = 0.30;
+        p.computeMax = 10;
+    } else if (name == "barnes") {
+        // N-body: good locality on the body arrays, tree sharing.
+        p.storeFraction = 0.30;
+        p.sharedFraction = 0.10;
+        p.privateLines = 8192;
+        p.sharedLines = 16384;
+        p.hotProbability = 0.65;
+        p.sequentialProbability = 0.40;
+        p.computeMax = 12;
+    } else if (name == "cholesky") {
+        // Blocked factorization: high spatial locality, block reuse.
+        p.storeFraction = 0.35;
+        p.sharedFraction = 0.08;
+        p.privateLines = 16384;
+        p.sharedLines = 16384;
+        p.hotProbability = 0.70;
+        p.sequentialProbability = 0.60;
+        p.computeMax = 10;
+    } else if (name == "radix") {
+        // Radix sort: streaming partitioned writes, little sharing.
+        p.storeFraction = 0.50;
+        p.sharedFraction = 0.04;
+        p.privateLines = 16384;
+        p.sharedLines = 8192;
+        p.hotProbability = 0.20;
+        p.sequentialProbability = 0.70;
+        p.computeMax = 3;
+    } else if (name == "intruder") {
+        // Network intrusion detection: small shared structures under
+        // heavy contention (transactional in STAMP).
+        p.storeFraction = 0.30;
+        p.sharedFraction = 0.22;
+        p.privateLines = 2048;
+        p.sharedLines = 8192;
+        p.hotProbability = 0.60;
+        p.sharedHotLines = 2048;
+        p.sequentialProbability = 0.25;
+        p.computeMax = 5;
+    } else if (name == "ssca2") {
+        // Graph kernel: write-intensive with fine-grained inter-thread
+        // sharing — the paper's stress case (4.22x under LB).
+        p.storeFraction = 0.45;
+        p.sharedFraction = 0.30;
+        p.privateLines = 2048;
+        p.sharedLines = 16384;
+        p.hotProbability = 0.65;
+        p.sharedHotLines = 1024;
+        p.sequentialProbability = 0.15;
+        p.computeMax = 3;
+    } else if (name == "vacation") {
+        // Travel-reservation trees: moderate sharing, random lookups.
+        p.storeFraction = 0.35;
+        p.sharedFraction = 0.15;
+        p.privateLines = 4096;
+        p.sharedLines = 32768;
+        p.hotProbability = 0.50;
+        p.sequentialProbability = 0.20;
+        p.computeMax = 6;
+    } else {
+        fatal("unknown synthetic preset '", name, "'");
+    }
+    return p;
+}
+
+} // namespace persim::workload

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Per-benchmark presets for the synthetic PARSEC/SPLASH/STAMP stand-ins.
+ */
+
+#ifndef PERSIM_WORKLOAD_SYNTHETIC_PRESETS_HH
+#define PERSIM_WORKLOAD_SYNTHETIC_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic/trace_gen.hh"
+
+namespace persim::workload
+{
+
+/**
+ * The nine workloads of Figures 13/14, in the paper's order:
+ * canneal, dedup, freqmine (PARSEC); barnes, cholesky, radix
+ * (SPLASH-2); intruder, ssca2, vacation (STAMP).
+ */
+const std::vector<std::string> &syntheticPresetNames();
+
+/**
+ * Memory-behaviour preset for @p name; throws SimFatal for unknown
+ * names. See presets.cc for the tuning rationale per benchmark.
+ */
+TraceGenParams syntheticPreset(const std::string &name);
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_SYNTHETIC_PRESETS_HH

@@ -1,0 +1,76 @@
+#include "workload/synthetic/trace_gen.hh"
+
+#include "workload/nv_heap.hh"
+
+namespace persim::workload
+{
+
+TraceGen::TraceGen(const TraceGenParams &params, CoreId thread,
+                   unsigned numThreads, std::uint64_t seed)
+    : _params(params),
+      _thread(thread),
+      _rng(seed * 0x9E3779B97F4A7C15ULL + thread * 7919 + 13)
+{
+    (void)numThreads;
+    // Shared region first, private regions behind it, per thread.
+    _sharedBase = NvHeap::kDefaultBase;
+    _privateBase = _sharedBase + _params.sharedLines * kLineBytes +
+                   static_cast<Addr>(thread) *
+                       (_params.privateLines + 64) * kLineBytes;
+    _lastAddr = _privateBase;
+}
+
+Addr
+TraceGen::pickAddr(bool shared)
+{
+    // Spatial locality: extend a sequential run.
+    if (_rng.chance(_params.sequentialProbability))
+        return _lastAddr + kLineBytes;
+
+    const Addr base = shared ? _sharedBase : _privateBase;
+    const std::uint64_t lines =
+        shared ? _params.sharedLines : _params.privateLines;
+    const std::uint64_t hot =
+        shared ? _params.sharedHotLines : _params.privateHotLines;
+
+    std::uint64_t line;
+    if (hot > 0 && hot < lines && _rng.chance(_params.hotProbability))
+        line = _rng.below(hot);
+    else
+        line = _rng.below(lines);
+    return base + line * kLineBytes;
+}
+
+cpu::MemOp
+TraceGen::next(Tick now)
+{
+    (void)now;
+    if (_opsIssued >= _params.opsPerThread)
+        return cpu::MemOp::halt();
+
+    // Interleave compute gaps between memory operations.
+    if (!_pendingCompute && _params.computeMax > 0 &&
+        _rng.chance(0.5)) {
+        _pendingCompute = true;
+        return cpu::MemOp::compute(static_cast<std::uint32_t>(
+            _rng.range(_params.computeMin, _params.computeMax)));
+    }
+    _pendingCompute = false;
+
+    ++_opsIssued;
+    const bool isStore = _rng.chance(_params.storeFraction);
+    if (isStore && _lastStore != 0 &&
+        _rng.chance(_params.rewriteProbability)) {
+        return cpu::MemOp::store(_lastStore); // in-place update
+    }
+    const bool shared = _rng.chance(_params.sharedFraction);
+    const Addr addr = pickAddr(shared);
+    _lastAddr = addr;
+    if (isStore) {
+        _lastStore = addr;
+        return cpu::MemOp::store(addr);
+    }
+    return cpu::MemOp::load(addr);
+}
+
+} // namespace persim::workload

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator (PARSEC/SPLASH/STAMP
+ * stand-ins for the BSP experiments; see DESIGN.md §5).
+ */
+
+#ifndef PERSIM_WORKLOAD_SYNTHETIC_TRACE_GEN_HH
+#define PERSIM_WORKLOAD_SYNTHETIC_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/workload_iface.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace persim::workload
+{
+
+/**
+ * Memory-behaviour parameters of one synthetic workload.
+ *
+ * The BSP experiments depend on each benchmark's *memory shape* — how
+ * many stores coalesce within a hardware epoch, how large the footprint
+ * is, and how much fine-grained inter-thread sharing creates
+ * inter-thread conflicts — not on its computation. Each preset
+ * (presets.cc) encodes those properties as published in the PARSEC /
+ * SPLASH-2 / STAMP characterization papers.
+ */
+struct TraceGenParams
+{
+    std::string name = "generic";
+
+    /** Memory operations per thread. */
+    std::uint64_t opsPerThread = 50000;
+
+    /** Fraction of memory operations that are stores. */
+    double storeFraction = 0.3;
+
+    /** Fraction of accesses that go to the shared region. */
+    double sharedFraction = 0.2;
+
+    /** Per-thread private footprint, in lines. */
+    std::uint64_t privateLines = 4096;
+
+    /** Shared footprint, in lines. */
+    std::uint64_t sharedLines = 16384;
+
+    /**
+     * Temporal locality: probability an access targets the hot subset
+     * (hotLines of the region) instead of the whole region.
+     */
+    double hotProbability = 0.6;
+    std::uint64_t privateHotLines = 96;
+    std::uint64_t sharedHotLines = 2048;
+
+    /** Spatial locality: probability the next access is sequential. */
+    double sequentialProbability = 0.4;
+
+    /**
+     * Probability a store re-writes the most recently stored line
+     * (accumulators, in-place updates). Rewrites within one hardware
+     * epoch coalesce; across epochs they re-persist and re-log — the
+     * mechanism behind Figure 13's epoch-size sensitivity.
+     */
+    double rewriteProbability = 0.35;
+
+    /** Compute cycles between memory operations (uniform range). */
+    unsigned computeMin = 1;
+    unsigned computeMax = 8;
+};
+
+/** One thread of a synthetic workload. */
+class TraceGen : public cpu::Workload
+{
+  public:
+    /**
+     * @param params Behaviour preset.
+     * @param thread This thread's id.
+     * @param numThreads Threads sharing the shared region.
+     * @param seed Workload seed (same seed + thread -> same stream).
+     */
+    TraceGen(const TraceGenParams &params, CoreId thread,
+             unsigned numThreads, std::uint64_t seed);
+
+    cpu::MemOp next(Tick now) override;
+    std::uint64_t transactions() const override { return _opsIssued; }
+
+    const TraceGenParams &params() const { return _params; }
+
+  private:
+    Addr pickAddr(bool shared);
+
+    TraceGenParams _params;
+    CoreId _thread;
+    Rng _rng;
+    Addr _privateBase;
+    Addr _sharedBase;
+    std::uint64_t _opsIssued = 0;
+    Addr _lastAddr = 0;
+    Addr _lastStore = 0;
+    bool _pendingCompute = false;
+};
+
+} // namespace persim::workload
+
+#endif // PERSIM_WORKLOAD_SYNTHETIC_TRACE_GEN_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace persim
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.runNext());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSuppressesExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&] { ran = true; });
+    eq.cancel(id);
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue eq;
+    eq.cancel(0);
+    eq.cancel(12345);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.scheduleIn(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 1u + 4 * 7);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), SimPanic);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.schedule(t, [&] { ++count; });
+    eq.runUntil(50);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 5u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenDrained)
+{
+    EventQueue eq;
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, MaxEventsBound)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> loop = [&] {
+        ++count;
+        eq.scheduleIn(1, loop);
+    };
+    eq.scheduleIn(1, loop);
+    EXPECT_EQ(eq.run(100), 100u);
+    EXPECT_EQ(count, 100);
+}
+
+TEST(EventQueue, ExecutedCounterCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i + 1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+} // namespace persim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the NVRAM timing model and memory controllers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/mesh.hh"
+#include "nvm/memory_controller.hh"
+#include "nvm/nvram.hh"
+#include "sim/event_queue.hh"
+
+namespace persim::nvm
+{
+
+TEST(Nvram, BasicLatencies)
+{
+    StatGroup g("g");
+    Nvram dev("dev", NvramConfig{}, &g);
+    EXPECT_EQ(dev.write(1000, 0x40), 1000u + 360u); // line 1 -> bank 0
+    EXPECT_EQ(dev.read(1000, 0x100), 1000u + 240u); // line 4 -> bank 1
+}
+
+TEST(Nvram, SameBankSerializes)
+{
+    NvramConfig cfg;
+    cfg.banks = 4;
+    cfg.bankShift = 2; // 4 controllers: lines 0,4,8,... reach this one
+    Nvram dev("dev", cfg, nullptr);
+    // Lines 0 and 16 map to bank 0 (shift strips the controller bits).
+    const Tick t1 = dev.write(0, 0 * 64);
+    const Tick t2 = dev.write(0, 16 * 64);
+    EXPECT_EQ(t1, 360u);
+    EXPECT_EQ(t2, 720u);
+    // Line 4 maps to bank 1, which is free.
+    EXPECT_EQ(dev.write(0, 4 * 64), 360u);
+}
+
+TEST(Nvram, CountsAccesses)
+{
+    Nvram dev("dev", NvramConfig{}, nullptr);
+    dev.write(0, 0x40);
+    dev.write(10, 0x80);
+    dev.read(20, 0xC0);
+    EXPECT_EQ(dev.writes(), 2u);
+    EXPECT_EQ(dev.reads(), 1u);
+}
+
+namespace
+{
+
+struct TestObserver : PersistObserver
+{
+    struct Rec
+    {
+        Tick when;
+        Addr addr;
+        CoreId core;
+        EpochId epoch;
+        bool isLog;
+    };
+    std::vector<Rec> recs;
+
+    void
+    onPersist(Tick when, Addr addr, CoreId core, EpochId epoch,
+              bool isLog) override
+    {
+        recs.push_back({when, addr, core, epoch, isLog});
+    }
+};
+
+} // namespace
+
+TEST(MemoryController, WritePersistAckRoundTrip)
+{
+    EventQueue eq;
+    noc::MeshConfig mc;
+    mc.rows = 1;
+    mc.cols = 2;
+    noc::Mesh mesh("mesh", eq, mc);
+    MemoryController ctrl("mc0", eq, mesh, 10, 0, 0, NvramConfig{});
+    mesh.attach(0, 1, 0); // requester node
+
+    TestObserver obs;
+    ctrl.setObserver(&obs);
+
+    Tick ackAt = 0;
+    WriteReq req;
+    req.addr = 0x1040;
+    req.core = 3;
+    req.epoch = 7;
+    req.replyTo = 0;
+    req.onPersist = [&] { ackAt = eq.now(); };
+    ctrl.handleWrite(std::move(req));
+    eq.run();
+
+    ASSERT_EQ(obs.recs.size(), 1u);
+    EXPECT_EQ(obs.recs[0].addr, 0x1040u);
+    EXPECT_EQ(obs.recs[0].core, 3);
+    EXPECT_EQ(obs.recs[0].epoch, 7u);
+    EXPECT_FALSE(obs.recs[0].isLog);
+    EXPECT_EQ(obs.recs[0].when, 360u); // durable point
+    EXPECT_GT(ackAt, obs.recs[0].when); // ack travels over the mesh
+    EXPECT_GE(ctrl.lastDurableTick(), 360u);
+}
+
+TEST(MemoryController, ReadReturnsData)
+{
+    EventQueue eq;
+    noc::MeshConfig mc;
+    mc.rows = 1;
+    mc.cols = 2;
+    noc::Mesh mesh("mesh", eq, mc);
+    MemoryController ctrl("mc0", eq, mesh, 10, 0, 0, NvramConfig{});
+    mesh.attach(0, 1, 0);
+
+    Tick dataAt = 0;
+    ReadReq req;
+    req.addr = 0x2000;
+    req.replyTo = 0;
+    req.onData = [&] { dataAt = eq.now(); };
+    ctrl.handleRead(std::move(req));
+    eq.run();
+    EXPECT_GT(dataAt, 240u);
+}
+
+TEST(MemoryController, LogWritesCounted)
+{
+    EventQueue eq;
+    noc::MeshConfig mc;
+    mc.rows = 1;
+    mc.cols = 2;
+    noc::Mesh mesh("mesh", eq, mc);
+    MemoryController ctrl("mc0", eq, mesh, 10, 0, 0, NvramConfig{});
+    mesh.attach(0, 1, 0);
+    WriteReq req;
+    req.addr = 0x40;
+    req.isLog = true;
+    req.replyTo = 0;
+    ctrl.handleWrite(std::move(req));
+    eq.run();
+    std::map<std::string, double> m;
+    ctrl.stats().toMap(m);
+    EXPECT_DOUBLE_EQ(m["mc0.logWrites"], 1.0);
+    EXPECT_DOUBLE_EQ(m["mc0.persistAcks"], 1.0);
+}
+
+TEST(McIndex, LineInterleavesAcrossControllers)
+{
+    EXPECT_EQ(mcIndexFor(0 * 64, 4), 0u);
+    EXPECT_EQ(mcIndexFor(1 * 64, 4), 1u);
+    EXPECT_EQ(mcIndexFor(2 * 64, 4), 2u);
+    EXPECT_EQ(mcIndexFor(3 * 64, 4), 3u);
+    EXPECT_EQ(mcIndexFor(4 * 64, 4), 0u);
+    EXPECT_EQ(mcIndexFor(4 * 64 + 63, 4), 0u);
+}
+
+} // namespace persim::nvm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for stats, RNG, logging, and scalar helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace persim
+{
+
+TEST(Types, LineHelpers)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(0x1234), 0x1200u);
+    EXPECT_EQ(lineNum(0), 0u);
+    EXPECT_EQ(lineNum(64), 1u);
+    EXPECT_EQ(lineNum(127), 1u);
+    EXPECT_EQ(kLineBytes, 64u);
+}
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("boom ", 42), SimPanic);
+    EXPECT_THROW(fatal("bad config: ", "x"), SimFatal);
+    try {
+        panic("value=", 7, " addr=0x", std::hex, 255);
+    } catch (const SimPanic &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("ff"), std::string::npos);
+    }
+}
+
+TEST(Logging, SimAssertPassesAndFails)
+{
+    EXPECT_NO_THROW(simAssert(true, "fine"));
+    EXPECT_THROW(simAssert(false, "broken"), SimPanic);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    StatGroup g("grp");
+    Scalar s(&g, "count", "a counter");
+    EXPECT_EQ(s.value(), 0u);
+    s.inc();
+    s.inc(9);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 16u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    Distribution d(nullptr, "lat", "latency");
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+    EXPECT_NEAR(d.stdev(), 8.1649, 1e-3);
+}
+
+TEST(Stats, GroupDumpAndMap)
+{
+    StatGroup g("cache");
+    Scalar hits(&g, "hits", "hits");
+    Distribution lat(&g, "latency", "lat");
+    hits.inc(3);
+    lat.sample(5.0);
+
+    std::map<std::string, double> m;
+    g.toMap(m);
+    EXPECT_DOUBLE_EQ(m["cache.hits"], 3.0);
+    EXPECT_DOUBLE_EQ(m["cache.latency.mean"], 5.0);
+    EXPECT_DOUBLE_EQ(m["cache.latency.count"], 1.0);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("cache.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("# hits"), std::string::npos);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.below(13);
+        EXPECT_LT(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 13u); // every residue hit
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+    }
+}
+
+} // namespace persim

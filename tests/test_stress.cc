@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Stress tests: pathological cache pressure, contention and feature
+ * combinations, each validated by the ordering checker and the
+ * end-of-run accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/system.hh"
+#include "workload/workload_factory.hh"
+
+namespace persim
+{
+
+using model::PersistencyModel;
+using model::SimResult;
+using model::System;
+using model::SystemConfig;
+using persist::BarrierKind;
+
+namespace
+{
+
+/** Small caches + cross-heavy partitioned micro = maximum interaction
+ * between replacement conflicts, splits, steals and IDT. */
+SimResult
+stressRun(BarrierKind barrier, bool invalidating, bool tinyLlc,
+          std::uint64_t seed, workload::MicroKind kind)
+{
+    SystemConfig cfg = SystemConfig::smallTest(4);
+    applyPersistencyModel(cfg, PersistencyModel::BufferedEpoch, barrier);
+    cfg.barrier.invalidatingFlush = invalidating;
+    cfg.barrier.maxInflightEpochs = 3; // tight window
+    cfg.barrier.idtRegsPerEpoch = 1;   // force overflows
+    if (tinyLlc) {
+        cfg.llcBank.geometry = cache::CacheGeometry{2 * 1024, 2};
+        cfg.l1.geometry = cache::CacheGeometry{1 * 1024, 2};
+    }
+    cfg.seed = seed;
+    System sys(cfg);
+    workload::MicroConfig mc;
+    mc.kind = kind;
+    mc.numThreads = 4;
+    mc.opsPerThread = 60;
+    mc.seed = seed;
+    mc.structureSize = 4;
+    mc.crossFraction = 0.5; // heavy sharing
+    auto workloads = workload::makeMicroWorkloads(mc);
+    for (unsigned t = 0; t < 4; ++t)
+        sys.setWorkload(static_cast<CoreId>(t), std::move(workloads[t]));
+    SimResult res = sys.run();
+    EXPECT_TRUE(res.completed)
+        << "deadlocked=" << res.deadlocked
+        << " timedOut=" << res.timedOut;
+    EXPECT_TRUE(res.violations.empty())
+        << "first violation: " << res.violations.front();
+    // End-of-run accounting: nothing tracked anywhere.
+    for (unsigned c = 0; c < 4; ++c) {
+        EXPECT_EQ(sys.l1(static_cast<CoreId>(c))
+                      .flushEngine()
+                      .totalLines(),
+                  0u);
+        EXPECT_EQ(sys.bank(c).flushEngine().totalLines(), 0u);
+    }
+    return res;
+}
+
+} // namespace
+
+class StressMatrix
+    : public testing::TestWithParam<
+          std::tuple<BarrierKind, bool, bool, std::uint64_t>>
+{
+};
+
+TEST_P(StressMatrix, SurvivesAndStaysOrdered)
+{
+    const auto &[barrier, invalidating, tinyLlc, seed] = GetParam();
+    (void)stressRun(barrier, invalidating, tinyLlc, seed,
+                    workload::MicroKind::Hash);
+    (void)stressRun(barrier, invalidating, tinyLlc, seed,
+                    workload::MicroKind::Sdg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, StressMatrix,
+    testing::Combine(testing::Values(BarrierKind::LB, BarrierKind::LBIDT,
+                                     BarrierKind::LBPP),
+                     testing::Bool(), // invalidating flush
+                     testing::Bool(), // tiny caches
+                     testing::Values<std::uint64_t>(3, 11)),
+    [](const auto &info) {
+        const BarrierKind barrier = std::get<0>(info.param);
+        const bool inval = std::get<1>(info.param);
+        const bool tiny = std::get<2>(info.param);
+        const std::uint64_t seed = std::get<3>(info.param);
+        return std::string(barrier == BarrierKind::LB      ? "LB"
+                           : barrier == BarrierKind::LBIDT ? "IDT"
+                                                           : "LBPP") +
+               (inval ? "_clflush" : "_clwb") +
+               (tiny ? "_tiny" : "_big") + "_s" + std::to_string(seed);
+    });
+
+TEST(StressBsp, TinyCachesHeavySharing)
+{
+    SystemConfig cfg = SystemConfig::smallTest(4);
+    applyPersistencyModel(cfg, PersistencyModel::BufferedStrict,
+                          BarrierKind::LBPP, /*epochSize=*/16);
+    cfg.llcBank.geometry = cache::CacheGeometry{2 * 1024, 2};
+    cfg.l1.geometry = cache::CacheGeometry{1 * 1024, 2};
+    cfg.barrier.maxInflightEpochs = 3;
+    System sys(cfg);
+    auto workloads =
+        workload::makeSyntheticWorkloads("ssca2", 4, 800, 17);
+    for (unsigned t = 0; t < 4; ++t)
+        sys.setWorkload(static_cast<CoreId>(t), std::move(workloads[t]));
+    SimResult res = sys.run();
+    ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+    EXPECT_TRUE(res.violations.empty())
+        << "first violation: " << res.violations.front();
+}
+
+} // namespace persim

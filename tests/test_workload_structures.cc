@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the workload substrates: heap, locks, red-black tree,
+ * trace-generator presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "workload/lock_manager.hh"
+#include "workload/micro/rbtree.hh"
+#include "workload/nv_heap.hh"
+#include "workload/synthetic/presets.hh"
+#include "workload/workload_factory.hh"
+
+namespace persim::workload
+{
+
+TEST(NvHeap, AllocatesLineAlignedDisjointChunks)
+{
+    NvHeap heap;
+    const Addr a = heap.alloc(512);
+    const Addr b = heap.alloc(512);
+    EXPECT_EQ(lineAlign(a), a);
+    EXPECT_GE(b, a + 512);
+    EXPECT_EQ(heap.liveBytes(), 1024u);
+}
+
+TEST(NvHeap, ReusesFreedEntriesLifo)
+{
+    NvHeap heap;
+    const Addr a = heap.alloc(512);
+    const Addr b = heap.alloc(512);
+    heap.free(a, 512);
+    heap.free(b, 512);
+    EXPECT_EQ(heap.alloc(512), b); // LIFO reuse
+    EXPECT_EQ(heap.alloc(512), a);
+}
+
+TEST(NvHeap, RoundsUpToLineMultiple)
+{
+    NvHeap heap;
+    const Addr a = heap.alloc(1);
+    const Addr b = heap.alloc(1);
+    EXPECT_EQ(b - a, kLineBytes);
+}
+
+TEST(NvHeap, SizeClassesAreIndependent)
+{
+    NvHeap heap;
+    const Addr a = heap.alloc(512);
+    heap.free(a, 512);
+    const Addr c = heap.alloc(64); // different class: no reuse
+    EXPECT_NE(c, a);
+}
+
+TEST(LockManager, AcquireReleaseCycle)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.tryAcquire(0x100, 0));
+    EXPECT_EQ(lm.holder(0x100), 0);
+    EXPECT_FALSE(lm.tryAcquire(0x100, 1));
+    lm.release(0x100, 0);
+    EXPECT_EQ(lm.holder(0x100), kNoCore);
+    EXPECT_TRUE(lm.tryAcquire(0x100, 1));
+    EXPECT_EQ(lm.acquisitions(), 2u);
+    EXPECT_EQ(lm.contendedTries(), 1u);
+}
+
+TEST(LockManager, WrongReleasePanics)
+{
+    LockManager lm;
+    ASSERT_TRUE(lm.tryAcquire(0x100, 0));
+    EXPECT_THROW(lm.release(0x100, 1), SimPanic);
+    EXPECT_THROW(lm.release(0x200, 0), SimPanic);
+}
+
+TEST(LockManager, RecursiveAcquirePanics)
+{
+    LockManager lm;
+    ASSERT_TRUE(lm.tryAcquire(0x100, 0));
+    EXPECT_THROW(lm.tryAcquire(0x100, 0), SimPanic);
+}
+
+TEST(RbTreeTest, InsertMaintainsInvariants)
+{
+    NvHeap heap;
+    RbTree tree(heap);
+    std::vector<Addr> path, touched;
+    for (std::uint64_t k = 1; k <= 200; ++k) {
+        path.clear();
+        touched.clear();
+        ASSERT_TRUE(tree.insert(k * 37 % 211, path, touched));
+        ASSERT_TRUE(tree.validate()) << "after insert #" << k;
+    }
+    EXPECT_EQ(tree.size(), 200u);
+}
+
+TEST(RbTreeTest, DuplicateInsertRejected)
+{
+    NvHeap heap;
+    RbTree tree(heap);
+    std::vector<Addr> path, touched;
+    EXPECT_TRUE(tree.insert(5, path, touched));
+    path.clear();
+    touched.clear();
+    EXPECT_FALSE(tree.insert(5, path, touched));
+    EXPECT_TRUE(touched.empty());
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RbTreeTest, EraseMaintainsInvariants)
+{
+    NvHeap heap;
+    RbTree tree(heap);
+    std::vector<Addr> path, touched;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        tree.insert(k, path, touched);
+    // Erase in a scattered order.
+    for (std::uint64_t k = 0; k < 100; k += 3) {
+        path.clear();
+        touched.clear();
+        ASSERT_TRUE(tree.erase(k, path, touched));
+        ASSERT_TRUE(tree.validate()) << "after erase of " << k;
+    }
+    EXPECT_EQ(tree.size(), 100u - 34u);
+    EXPECT_FALSE(tree.erase(0, path, touched)); // already gone
+}
+
+TEST(RbTreeTest, LookupRecordsPath)
+{
+    NvHeap heap;
+    RbTree tree(heap);
+    std::vector<Addr> path, touched;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        tree.insert(k, path, touched);
+    path.clear();
+    EXPECT_TRUE(tree.lookup(33, path));
+    EXPECT_FALSE(path.empty());
+    EXPECT_LE(path.size(), 2 * 7u); // ~2*log2(n) bound for RB trees
+    path.clear();
+    EXPECT_FALSE(tree.lookup(1000, path));
+}
+
+TEST(RbTreeTest, TouchedNodesAreBounded)
+{
+    NvHeap heap;
+    RbTree tree(heap);
+    std::vector<Addr> path, touched;
+    for (std::uint64_t k = 0; k < 512; ++k) {
+        path.clear();
+        touched.clear();
+        tree.insert(k, path, touched);
+        // Rebalancing writes O(log n) nodes.
+        EXPECT_LE(touched.size(), 40u);
+    }
+}
+
+TEST(Presets, AllNinePresent)
+{
+    const auto &names = syntheticPresetNames();
+    EXPECT_EQ(names.size(), 9u);
+    for (const auto &n : names) {
+        TraceGenParams p = syntheticPreset(n);
+        EXPECT_EQ(p.name, n);
+        EXPECT_GT(p.storeFraction, 0.0);
+        EXPECT_LT(p.storeFraction, 1.0);
+        EXPECT_GT(p.privateLines, 0u);
+    }
+}
+
+TEST(Presets, UnknownNameFatals)
+{
+    EXPECT_THROW(syntheticPreset("doom"), SimFatal);
+}
+
+TEST(Presets, Ssca2IsTheSharingStressCase)
+{
+    // The paper singles out ssca2 as write-intensive with fine-grained
+    // inter-thread interaction; the preset must reflect that.
+    TraceGenParams ssca2 = syntheticPreset("ssca2");
+    for (const auto &n : syntheticPresetNames()) {
+        if (n == "ssca2")
+            continue;
+        TraceGenParams other = syntheticPreset(n);
+        EXPECT_GE(ssca2.sharedFraction, other.sharedFraction);
+    }
+}
+
+TEST(Factory, MicroKindRoundTrip)
+{
+    for (MicroKind k : allMicroKinds())
+        EXPECT_EQ(microKindFromName(toString(k)), k);
+    EXPECT_THROW(microKindFromName("nope"), SimFatal);
+}
+
+TEST(Factory, BuildsOneWorkloadPerThread)
+{
+    MicroConfig cfg;
+    cfg.kind = MicroKind::Queue;
+    cfg.numThreads = 8;
+    auto w = makeMicroWorkloads(cfg);
+    EXPECT_EQ(w.size(), 8u);
+    for (auto &p : w)
+        EXPECT_NE(p, nullptr);
+    auto s = makeSyntheticWorkloads("radix", 8, 100, 1);
+    EXPECT_EQ(s.size(), 8u);
+}
+
+} // namespace persim::workload

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * persim_cli — command-line driver for one-off simulations.
+ *
+ *   persim_cli --workload hash --model BEP --barrier LB++ --ops 500
+ *   persim_cli --workload ssca2 --model BSP --epoch-size 1000 --stats
+ *
+ * Workloads: the Table 2 micros (hash, queue, rbtree, sdg, sps) and the
+ * synthetic suite stand-ins (canneal, dedup, freqmine, barnes,
+ * cholesky, radix, intruder, ssca2, vacation).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "model/recovery.hh"
+#include "sim/logging.hh"
+#include "model/system.hh"
+#include "workload/synthetic/presets.hh"
+#include "workload/workload_factory.hh"
+
+using namespace persim;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --workload NAME   hash|queue|rbtree|sdg|sps or a synthetic\n"
+        "                    preset (canneal, ..., vacation). Default\n"
+        "                    hash.\n"
+        "  --model M         NP|SP|EP|BEP|BSP (default BEP for micros,\n"
+        "                    BSP for synthetics)\n"
+        "  --barrier B       LB|LB+IDT|LB+PF|LB++ (default LB++)\n"
+        "  --ops N           operations per thread (default 300)\n"
+        "  --cores N         cores (default 32; power of two)\n"
+        "  --epoch-size N    BSP hardware epoch size (default 10000)\n"
+        "  --seed N          workload seed (default 1)\n"
+        "  --stats           dump the full stat tree\n"
+        "  --debug-state     dump live machine state after the run\n"
+        "  --check-recovery  record the persist log and verify crash\n"
+        "                    recoverability at every point\n"
+        "  --help\n",
+        argv0);
+}
+
+bool
+isMicro(const std::string &name)
+{
+    for (auto k : workload::allMicroKinds()) {
+        if (name == workload::toString(k))
+            return true;
+    }
+    return false;
+}
+
+persist::BarrierKind
+parseBarrier(const std::string &s)
+{
+    if (s == "LB")
+        return persist::BarrierKind::LB;
+    if (s == "LB+IDT" || s == "LBIDT")
+        return persist::BarrierKind::LBIDT;
+    if (s == "LB+PF" || s == "LBPF")
+        return persist::BarrierKind::LBPF;
+    if (s == "LB++" || s == "LBPP")
+        return persist::BarrierKind::LBPP;
+    persim::fatal("unknown barrier '", s, "'");
+}
+
+model::PersistencyModel
+parseModel(const std::string &s)
+{
+    if (s == "NP")
+        return model::PersistencyModel::NoPersistency;
+    if (s == "SP")
+        return model::PersistencyModel::Strict;
+    if (s == "EP")
+        return model::PersistencyModel::Epoch;
+    if (s == "BEP")
+        return model::PersistencyModel::BufferedEpoch;
+    if (s == "BSP")
+        return model::PersistencyModel::BufferedStrict;
+    persim::fatal("unknown persistency model '", s, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workloadName = "hash";
+    std::string modelName;
+    std::string barrierName = "LB++";
+    std::uint64_t ops = 300;
+    unsigned cores = 32;
+    unsigned epochSize = 10000;
+    std::uint64_t seed = 1;
+    bool dumpStats = false;
+    bool debugState = false;
+    bool checkRecovery = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workloadName = value("--workload");
+        else if (arg == "--model")
+            modelName = value("--model");
+        else if (arg == "--barrier")
+            barrierName = value("--barrier");
+        else if (arg == "--ops")
+            ops = std::strtoull(value("--ops").c_str(), nullptr, 10);
+        else if (arg == "--cores")
+            cores = static_cast<unsigned>(
+                std::strtoul(value("--cores").c_str(), nullptr, 10));
+        else if (arg == "--epoch-size")
+            epochSize = static_cast<unsigned>(std::strtoul(
+                value("--epoch-size").c_str(), nullptr, 10));
+        else if (arg == "--seed")
+            seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+        else if (arg == "--stats")
+            dumpStats = true;
+        else if (arg == "--debug-state")
+            debugState = true;
+        else if (arg == "--check-recovery")
+            checkRecovery = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    try {
+        const bool micro = isMicro(workloadName);
+        if (modelName.empty())
+            modelName = micro ? "BEP" : "BSP";
+
+        model::SystemConfig cfg =
+            cores == 32 ? model::SystemConfig::paperTable1()
+                        : model::SystemConfig::smallTest(cores);
+        applyPersistencyModel(cfg, parseModel(modelName),
+                              parseBarrier(barrierName), epochSize);
+        cfg.seed = seed;
+        cfg.keepPersistLog = checkRecovery;
+
+        model::System sys(cfg);
+        std::vector<std::unique_ptr<cpu::Workload>> workloads;
+        if (micro) {
+            workload::MicroConfig mc;
+            mc.kind = workload::microKindFromName(workloadName);
+            mc.numThreads = cores;
+            mc.opsPerThread = ops;
+            mc.seed = seed;
+            workloads = workload::makeMicroWorkloads(mc);
+        } else {
+            workloads = workload::makeSyntheticWorkloads(workloadName,
+                                                         cores, ops,
+                                                         seed);
+        }
+        for (unsigned t = 0; t < cores; ++t)
+            sys.setWorkload(static_cast<CoreId>(t),
+                            std::move(workloads[t]));
+
+        std::printf("%s | %s | %s | %llu ops/thread | seed %llu\n",
+                    workloadName.c_str(), modelName.c_str(),
+                    barrierName.c_str(),
+                    static_cast<unsigned long long>(ops),
+                    static_cast<unsigned long long>(seed));
+        std::printf("%s\n", cfg.describe().c_str());
+
+        model::SimResult res = sys.run();
+
+        std::printf("completed=%d deadlocked=%d timedOut=%d\n",
+                    res.completed, res.deadlocked, res.timedOut);
+        std::printf("exec %.3f Mcycles, drain +%.3f Mcycles, %llu "
+                    "events\n",
+                    res.execTicks / 1e6,
+                    (res.drainTicks - res.execTicks) / 1e6,
+                    static_cast<unsigned long long>(res.events));
+        std::printf("transactions %llu (%.1f txn/Mcycle)\n",
+                    static_cast<unsigned long long>(res.transactions),
+                    res.throughput());
+        std::printf("ordering violations: %zu\n", res.violations.size());
+        for (std::size_t i = 0;
+             i < res.violations.size() && i < 5; ++i)
+            std::printf("  %s\n", res.violations[i].c_str());
+
+        if (checkRecovery && sys.checker()) {
+            model::RecoveryAnalysis ra(sys.checker()->log(), cores);
+            const std::size_t bad = ra.firstInconsistency();
+            if (bad > ra.logSize()) {
+                std::printf("recovery: consistent at every crash point "
+                            "(%zu durable writes)\n",
+                            ra.logSize());
+            } else {
+                std::printf("recovery: INCONSISTENT at crash point %zu\n",
+                            bad);
+            }
+        }
+        if (debugState)
+            sys.debugDump(std::cout);
+        if (dumpStats)
+            sys.dumpStats(std::cout);
+        return res.completed && res.violations.empty() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
