@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_arbiter_messages.dir/abl_arbiter_messages.cc.o"
+  "CMakeFiles/abl_arbiter_messages.dir/abl_arbiter_messages.cc.o.d"
+  "abl_arbiter_messages"
+  "abl_arbiter_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_arbiter_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

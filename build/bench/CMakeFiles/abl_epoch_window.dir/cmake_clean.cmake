@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_epoch_window.dir/abl_epoch_window.cc.o"
+  "CMakeFiles/abl_epoch_window.dir/abl_epoch_window.cc.o.d"
+  "abl_epoch_window"
+  "abl_epoch_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_epoch_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

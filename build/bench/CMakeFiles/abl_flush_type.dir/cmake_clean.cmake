@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_flush_type.dir/abl_flush_type.cc.o"
+  "CMakeFiles/abl_flush_type.dir/abl_flush_type.cc.o.d"
+  "abl_flush_type"
+  "abl_flush_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flush_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

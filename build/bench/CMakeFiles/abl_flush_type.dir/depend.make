@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_flush_type.
+# This may be replaced when dependencies are built.

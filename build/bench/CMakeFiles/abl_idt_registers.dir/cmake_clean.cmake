@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_idt_registers.dir/abl_idt_registers.cc.o"
+  "CMakeFiles/abl_idt_registers.dir/abl_idt_registers.cc.o.d"
+  "abl_idt_registers"
+  "abl_idt_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_idt_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nvram_latency.dir/abl_nvram_latency.cc.o"
+  "CMakeFiles/abl_nvram_latency.dir/abl_nvram_latency.cc.o.d"
+  "abl_nvram_latency"
+  "abl_nvram_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nvram_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

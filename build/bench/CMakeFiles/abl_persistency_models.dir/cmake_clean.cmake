@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_persistency_models.dir/abl_persistency_models.cc.o"
+  "CMakeFiles/abl_persistency_models.dir/abl_persistency_models.cc.o.d"
+  "abl_persistency_models"
+  "abl_persistency_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_persistency_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_writethrough.dir/abl_writethrough.cc.o"
+  "CMakeFiles/abl_writethrough.dir/abl_writethrough.cc.o.d"
+  "abl_writethrough"
+  "abl_writethrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_writethrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

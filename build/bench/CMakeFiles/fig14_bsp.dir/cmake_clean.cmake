@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bsp.dir/fig14_bsp.cc.o"
+  "CMakeFiles/fig14_bsp.dir/fig14_bsp.cc.o.d"
+  "fig14_bsp"
+  "fig14_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

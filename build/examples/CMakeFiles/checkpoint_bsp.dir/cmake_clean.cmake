@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_bsp.dir/checkpoint_bsp.cpp.o"
+  "CMakeFiles/checkpoint_bsp.dir/checkpoint_bsp.cpp.o.d"
+  "checkpoint_bsp"
+  "checkpoint_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_avoidance.dir/deadlock_avoidance.cpp.o"
+  "CMakeFiles/deadlock_avoidance.dir/deadlock_avoidance.cpp.o.d"
+  "deadlock_avoidance"
+  "deadlock_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

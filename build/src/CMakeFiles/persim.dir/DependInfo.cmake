@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/persim.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/persim.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/l1_cache.cc" "src/CMakeFiles/persim.dir/cache/l1_cache.cc.o" "gcc" "src/CMakeFiles/persim.dir/cache/l1_cache.cc.o.d"
+  "/root/repo/src/cache/llc_bank.cc" "src/CMakeFiles/persim.dir/cache/llc_bank.cc.o" "gcc" "src/CMakeFiles/persim.dir/cache/llc_bank.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/persim.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/persim.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/persim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/persim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/write_buffer.cc" "src/CMakeFiles/persim.dir/cpu/write_buffer.cc.o" "gcc" "src/CMakeFiles/persim.dir/cpu/write_buffer.cc.o.d"
+  "/root/repo/src/model/ordering_checker.cc" "src/CMakeFiles/persim.dir/model/ordering_checker.cc.o" "gcc" "src/CMakeFiles/persim.dir/model/ordering_checker.cc.o.d"
+  "/root/repo/src/model/recovery.cc" "src/CMakeFiles/persim.dir/model/recovery.cc.o" "gcc" "src/CMakeFiles/persim.dir/model/recovery.cc.o.d"
+  "/root/repo/src/model/system.cc" "src/CMakeFiles/persim.dir/model/system.cc.o" "gcc" "src/CMakeFiles/persim.dir/model/system.cc.o.d"
+  "/root/repo/src/model/system_config.cc" "src/CMakeFiles/persim.dir/model/system_config.cc.o" "gcc" "src/CMakeFiles/persim.dir/model/system_config.cc.o.d"
+  "/root/repo/src/noc/link.cc" "src/CMakeFiles/persim.dir/noc/link.cc.o" "gcc" "src/CMakeFiles/persim.dir/noc/link.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/persim.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/persim.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/CMakeFiles/persim.dir/noc/network_interface.cc.o" "gcc" "src/CMakeFiles/persim.dir/noc/network_interface.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/persim.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/persim.dir/noc/router.cc.o.d"
+  "/root/repo/src/nvm/memory_controller.cc" "src/CMakeFiles/persim.dir/nvm/memory_controller.cc.o" "gcc" "src/CMakeFiles/persim.dir/nvm/memory_controller.cc.o.d"
+  "/root/repo/src/nvm/nvram.cc" "src/CMakeFiles/persim.dir/nvm/nvram.cc.o" "gcc" "src/CMakeFiles/persim.dir/nvm/nvram.cc.o.d"
+  "/root/repo/src/persist/barrier_config.cc" "src/CMakeFiles/persim.dir/persist/barrier_config.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/barrier_config.cc.o.d"
+  "/root/repo/src/persist/epoch_arbiter.cc" "src/CMakeFiles/persim.dir/persist/epoch_arbiter.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/epoch_arbiter.cc.o.d"
+  "/root/repo/src/persist/epoch_table.cc" "src/CMakeFiles/persim.dir/persist/epoch_table.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/epoch_table.cc.o.d"
+  "/root/repo/src/persist/flush_engine.cc" "src/CMakeFiles/persim.dir/persist/flush_engine.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/flush_engine.cc.o.d"
+  "/root/repo/src/persist/idt_registers.cc" "src/CMakeFiles/persim.dir/persist/idt_registers.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/idt_registers.cc.o.d"
+  "/root/repo/src/persist/persist_controller.cc" "src/CMakeFiles/persim.dir/persist/persist_controller.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/persist_controller.cc.o.d"
+  "/root/repo/src/persist/undo_log.cc" "src/CMakeFiles/persim.dir/persist/undo_log.cc.o" "gcc" "src/CMakeFiles/persim.dir/persist/undo_log.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/persim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/persim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/persim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/persim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/persim.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/persim.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/persim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/persim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/persim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/persim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workload/lock_manager.cc" "src/CMakeFiles/persim.dir/workload/lock_manager.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/lock_manager.cc.o.d"
+  "/root/repo/src/workload/micro/hash.cc" "src/CMakeFiles/persim.dir/workload/micro/hash.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/micro/hash.cc.o.d"
+  "/root/repo/src/workload/micro/micro_benchmark.cc" "src/CMakeFiles/persim.dir/workload/micro/micro_benchmark.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/micro/micro_benchmark.cc.o.d"
+  "/root/repo/src/workload/micro/queue.cc" "src/CMakeFiles/persim.dir/workload/micro/queue.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/micro/queue.cc.o.d"
+  "/root/repo/src/workload/micro/rbtree.cc" "src/CMakeFiles/persim.dir/workload/micro/rbtree.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/micro/rbtree.cc.o.d"
+  "/root/repo/src/workload/micro/sdg.cc" "src/CMakeFiles/persim.dir/workload/micro/sdg.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/micro/sdg.cc.o.d"
+  "/root/repo/src/workload/micro/sps.cc" "src/CMakeFiles/persim.dir/workload/micro/sps.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/micro/sps.cc.o.d"
+  "/root/repo/src/workload/nv_heap.cc" "src/CMakeFiles/persim.dir/workload/nv_heap.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/nv_heap.cc.o.d"
+  "/root/repo/src/workload/synthetic/presets.cc" "src/CMakeFiles/persim.dir/workload/synthetic/presets.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/synthetic/presets.cc.o.d"
+  "/root/repo/src/workload/synthetic/trace_gen.cc" "src/CMakeFiles/persim.dir/workload/synthetic/trace_gen.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/synthetic/trace_gen.cc.o.d"
+  "/root/repo/src/workload/workload_factory.cc" "src/CMakeFiles/persim.dir/workload/workload_factory.cc.o" "gcc" "src/CMakeFiles/persim.dir/workload/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

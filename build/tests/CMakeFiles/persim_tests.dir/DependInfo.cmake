@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_structures.cc" "tests/CMakeFiles/persim_tests.dir/test_cache_structures.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_cache_structures.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/persim_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/persim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_integration_smoke.cc" "tests/CMakeFiles/persim_tests.dir/test_integration_smoke.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_integration_smoke.cc.o.d"
+  "/root/repo/tests/test_micro_workloads.cc" "tests/CMakeFiles/persim_tests.dir/test_micro_workloads.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_micro_workloads.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/persim_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_nvm.cc" "tests/CMakeFiles/persim_tests.dir/test_nvm.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_nvm.cc.o.d"
+  "/root/repo/tests/test_ordering_checker.cc" "tests/CMakeFiles/persim_tests.dir/test_ordering_checker.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_ordering_checker.cc.o.d"
+  "/root/repo/tests/test_persist_protocol.cc" "tests/CMakeFiles/persim_tests.dir/test_persist_protocol.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_persist_protocol.cc.o.d"
+  "/root/repo/tests/test_persist_structures.cc" "tests/CMakeFiles/persim_tests.dir/test_persist_structures.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_persist_structures.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/persim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_recovery.cc" "tests/CMakeFiles/persim_tests.dir/test_recovery.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_recovery.cc.o.d"
+  "/root/repo/tests/test_replacement_and_edge.cc" "tests/CMakeFiles/persim_tests.dir/test_replacement_and_edge.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_replacement_and_edge.cc.o.d"
+  "/root/repo/tests/test_scenarios.cc" "tests/CMakeFiles/persim_tests.dir/test_scenarios.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_scenarios.cc.o.d"
+  "/root/repo/tests/test_sim_basics.cc" "tests/CMakeFiles/persim_tests.dir/test_sim_basics.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_sim_basics.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/persim_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_system_api.cc" "tests/CMakeFiles/persim_tests.dir/test_system_api.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_system_api.cc.o.d"
+  "/root/repo/tests/test_workload_structures.cc" "tests/CMakeFiles/persim_tests.dir/test_workload_structures.cc.o" "gcc" "tests/CMakeFiles/persim_tests.dir/test_workload_structures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/persim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

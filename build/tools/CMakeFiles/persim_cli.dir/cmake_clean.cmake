@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_cli.dir/persim_cli.cc.o"
+  "CMakeFiles/persim_cli.dir/persim_cli.cc.o.d"
+  "persim_cli"
+  "persim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
