@@ -16,6 +16,13 @@ rows()
     return store;
 }
 
+std::vector<exp::JobOutcome> &
+outcomes()
+{
+    static std::vector<exp::JobOutcome> store;
+    return store;
+}
+
 const Row *
 findRow(const std::string &workload, const std::string &config)
 {
@@ -74,21 +81,28 @@ benchConfig(unsigned cores)
     return cfg;
 }
 
-static Row &
-storeRow(const std::string &workload, const std::string &config,
-         model::System &sys, model::SimResult res)
+const Row &
+runSpec(const exp::ExperimentSpec &spec,
+        const std::function<void(model::SystemConfig &)> &tweak)
 {
-    if (!res.completed) {
-        warn("bench cell ", workload, "/", config,
-             " did not complete (deadlocked=", res.deadlocked,
-             ", timedOut=", res.timedOut, ")");
+    exp::JobOutcome outcome = exp::runJob(spec, /*maxAttempts=*/1, tweak);
+    if (!outcome.ok) {
+        warn("bench cell ", spec.id(), " threw: ", outcome.error);
+    } else if (!outcome.result.completed) {
+        warn("bench cell ", spec.id(),
+             " did not complete (deadlocked=", outcome.result.deadlocked,
+             ", timedOut=", outcome.result.timedOut, ")");
     }
-    if (!res.violations.empty()) {
-        warn("bench cell ", workload, "/", config, " had ",
-             res.violations.size(),
-             " ordering violations; first: ", res.violations.front());
+    if (!outcome.result.violations.empty()) {
+        warn("bench cell ", spec.id(), " had ",
+             outcome.result.violations.size(),
+             " ordering violations; first: ",
+             outcome.result.violations.front());
     }
-    rows().push_back(Row{workload, config, std::move(res), sys.stats()});
+    rows().push_back(Row{spec.workload, spec.configLabel, outcome.result,
+                         outcome.stats});
+    outcome.index = outcomes().size();
+    outcomes().push_back(std::move(outcome));
     return rows().back();
 }
 
@@ -98,26 +112,15 @@ runBepMicro(workload::MicroKind kind, persist::BarrierKind barrier,
             std::uint64_t seed,
             const std::function<void(model::SystemConfig &)> &tweak)
 {
-    model::SystemConfig cfg = benchConfig(cores);
-    applyPersistencyModel(cfg, model::PersistencyModel::BufferedEpoch,
-                          barrier);
-    cfg.seed = seed;
-    if (tweak)
-        tweak(cfg);
-    model::System sys(cfg);
-
-    workload::MicroConfig mc;
-    mc.kind = kind;
-    mc.numThreads = cores;
-    mc.opsPerThread = opsPerThread;
-    mc.seed = seed;
-    auto workloads = workload::makeMicroWorkloads(mc);
-    for (unsigned t = 0; t < cores; ++t)
-        sys.setWorkload(static_cast<CoreId>(t), std::move(workloads[t]));
-
-    model::SimResult res = sys.run();
-    return storeRow(workload::toString(kind),
-                    persist::toString(barrier), sys, std::move(res));
+    exp::ExperimentSpec spec;
+    spec.workload = workload::toString(kind);
+    spec.configLabel = persist::toString(barrier);
+    spec.pm = model::PersistencyModel::BufferedEpoch;
+    spec.barrier = barrier;
+    spec.cores = cores;
+    spec.ops = opsPerThread;
+    spec.seed = seed;
+    return runSpec(spec, tweak);
 }
 
 const Row &
@@ -127,24 +130,17 @@ runBspCell(const std::string &preset, model::PersistencyModel pm,
            unsigned cores, std::uint64_t seed,
            const std::function<void(model::SystemConfig &)> &tweak)
 {
-    model::SystemConfig cfg = benchConfig(cores);
-    applyPersistencyModel(cfg, pm, barrier, epochSize);
-    if (pm == model::PersistencyModel::BufferedStrict && !logging) {
-        cfg.barrier.logging = false; // LB++NOLOG ablation
-        cfg.barrier.checkpointLines = 0;
-    }
-    cfg.seed = seed;
-    if (tweak)
-        tweak(cfg);
-    model::System sys(cfg);
-
-    auto workloads = workload::makeSyntheticWorkloads(preset, cores,
-                                                      opsPerThread, seed);
-    for (unsigned t = 0; t < cores; ++t)
-        sys.setWorkload(static_cast<CoreId>(t), std::move(workloads[t]));
-
-    model::SimResult res = sys.run();
-    return storeRow(preset, configLabel, sys, std::move(res));
+    exp::ExperimentSpec spec;
+    spec.workload = preset;
+    spec.configLabel = configLabel;
+    spec.pm = pm;
+    spec.barrier = barrier;
+    spec.epochSize = epochSize;
+    spec.logging = logging;
+    spec.cores = cores;
+    spec.ops = opsPerThread;
+    spec.seed = seed;
+    return runSpec(spec, tweak);
 }
 
 double

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/runner.hh"
+#include "exp/spec.hh"
 #include "model/system.hh"
 #include "workload/workload_factory.hh"
 
@@ -40,6 +42,17 @@ struct Row
 
 /** Global row store for the current bench binary. */
 std::vector<Row> &rows();
+
+/** The same cells as full exp outcomes (for exp::figureTable). */
+std::vector<exp::JobOutcome> &outcomes();
+
+/**
+ * Run one experiment spec through the exp subsystem and record it as a
+ * Row (and JobOutcome). All the run* helpers below go through here.
+ */
+const Row &runSpec(const exp::ExperimentSpec &spec,
+                   const std::function<void(model::SystemConfig &)>
+                       &tweak = {});
 
 /** Find a completed row; nullptr if missing. */
 const Row *findRow(const std::string &workload,

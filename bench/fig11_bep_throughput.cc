@@ -5,53 +5,38 @@
  * normalized to LB.
  *
  * Paper result: gmean +3% (LB+IDT), +17% (LB+PF), +22% (LB++) over LB.
+ *
+ * Thin wrapper over src/exp: the grid comes from exp::figureSweep(11)
+ * and the table from exp::figureTable, shared with persim_sweep.
  */
 
+#include <iostream>
+
 #include "bench_util.hh"
+#include "exp/figures.hh"
 
 using namespace persim;
 using namespace persim::bench;
-using persist::BarrierKind;
-using workload::MicroKind;
 
 namespace
 {
 
-const std::vector<BarrierKind> kVariants = {
-    BarrierKind::LB,
-    BarrierKind::LBIDT,
-    BarrierKind::LBPF,
-    BarrierKind::LBPP,
-};
-
-void
-bepCell(benchmark::State &state, MicroKind kind, BarrierKind barrier)
-{
-    const std::uint64_t ops = envOps(300);
-    const unsigned cores = envCores();
-    for (auto _ : state) {
-        const Row &row =
-            runBepMicro(kind, barrier, ops, cores, envSeed());
-        exportCounters(state, row);
-    }
-}
-
 void
 registerAll()
 {
-    for (MicroKind kind : workload::allMicroKinds()) {
-        for (BarrierKind barrier : kVariants) {
-            std::string name = std::string("fig11/") +
-                               workload::toString(kind) + "/" +
-                               persist::toString(barrier);
-            benchmark::RegisterBenchmark(
-                name.c_str(),
-                [kind, barrier](benchmark::State &st) {
-                    bepCell(st, kind, barrier);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
+    const exp::Sweep sweep =
+        exp::figureSweep(11, envOps(300), envCores(), envSeed());
+    for (const exp::ExperimentSpec &spec : sweep.jobs) {
+        const std::string name = spec.sweep + "/" + spec.workload + "/" +
+                                 spec.configLabel;
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [spec](benchmark::State &st) {
+                                         for (auto _ : st)
+                                             exportCounters(
+                                                 st, runSpec(spec));
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
     }
 }
 
@@ -65,25 +50,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    std::vector<std::string> workloads;
-    for (auto kind : workload::allMicroKinds())
-        workloads.push_back(workload::toString(kind));
-    std::vector<std::string> configs;
-    for (auto b : kVariants)
-        configs.push_back(persist::toString(b));
-
-    printTable(
-        "Figure 11: transaction throughput normalized to LB "
-        "(higher is better)",
-        workloads, configs,
-        [](const std::string &w, const std::string &c) {
-            const Row *row = findRow(w, c);
-            const Row *base = findRow(w, "LB");
-            if (!row || !base || base->result.throughput() == 0)
-                return 0.0;
-            return row->result.throughput() /
-                   base->result.throughput();
-        },
-        "gmean", /*useGmean=*/true);
+    exp::printFigureTable(std::cout, exp::figureTable(11, outcomes()));
     return 0;
 }

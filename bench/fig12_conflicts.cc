@@ -5,68 +5,41 @@
  *
  * Paper result: ~90% under LB and LB+IDT, ~77% under LB+PF, ~75% under
  * LB++ (amean).
+ *
+ * Thin wrapper over src/exp: the grid comes from exp::figureSweep(12)
+ * and the table/metric from exp::figureTable / exp::conflictPct.
  */
 
+#include <iostream>
+
 #include "bench_util.hh"
+#include "exp/figures.hh"
 
 using namespace persim;
 using namespace persim::bench;
-using persist::BarrierKind;
-using workload::MicroKind;
 
 namespace
 {
 
-const std::vector<BarrierKind> kVariants = {
-    BarrierKind::LB,
-    BarrierKind::LBIDT,
-    BarrierKind::LBPF,
-    BarrierKind::LBPP,
-};
-
-double
-conflictPct(const Row &row, unsigned cores)
-{
-    const double conflicted = sumPerCore(row.stats, "persist.arbiter",
-                                         ".flushIntra", cores) +
-                              sumPerCore(row.stats, "persist.arbiter",
-                                         ".flushInter", cores) +
-                              sumPerCore(row.stats, "persist.arbiter",
-                                         ".flushReplacement", cores);
-    const double total = sumPerCore(row.stats, "persist.arbiter",
-                                    ".epochsPersisted", cores);
-    return total > 0 ? 100.0 * conflicted / total : 0.0;
-}
-
-void
-cell(benchmark::State &state, MicroKind kind, BarrierKind barrier)
-{
-    const std::uint64_t ops = envOps(300);
-    const unsigned cores = envCores();
-    for (auto _ : state) {
-        const Row &row =
-            runBepMicro(kind, barrier, ops, cores, envSeed());
-        exportCounters(state, row);
-        state.counters["conflictPct"] = conflictPct(row, cores);
-    }
-}
-
 void
 registerAll()
 {
-    for (MicroKind kind : workload::allMicroKinds()) {
-        for (BarrierKind barrier : kVariants) {
-            std::string name = std::string("fig12/") +
-                               workload::toString(kind) + "/" +
-                               persist::toString(barrier);
-            benchmark::RegisterBenchmark(
-                name.c_str(),
-                [kind, barrier](benchmark::State &st) {
-                    cell(st, kind, barrier);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
+    const exp::Sweep sweep =
+        exp::figureSweep(12, envOps(300), envCores(), envSeed());
+    for (const exp::ExperimentSpec &spec : sweep.jobs) {
+        const std::string name = spec.sweep + "/" + spec.workload + "/" +
+                                 spec.configLabel;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [spec](benchmark::State &st) {
+                for (auto _ : st) {
+                    exportCounters(st, runSpec(spec));
+                    st.counters["conflictPct"] =
+                        exp::conflictPct(outcomes().back());
+                }
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
     }
 }
 
@@ -80,22 +53,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    const unsigned cores = envCores();
-    std::vector<std::string> workloads;
-    for (auto kind : workload::allMicroKinds())
-        workloads.push_back(workload::toString(kind));
-    std::vector<std::string> configs;
-    for (auto b : kVariants)
-        configs.push_back(persist::toString(b));
-
-    printTable(
-        "Figure 12: % epochs flushed because of a conflict "
-        "(lower is better)",
-        workloads, configs,
-        [cores](const std::string &w, const std::string &c) {
-            const Row *row = findRow(w, c);
-            return row ? conflictPct(*row, cores) : 0.0;
-        },
-        "amean", /*useGmean=*/false);
+    exp::printFigureTable(std::cout, exp::figureTable(12, outcomes()));
     return 0;
 }

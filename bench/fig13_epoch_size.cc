@@ -7,63 +7,39 @@
  * Paper result: overhead shrinks with epoch size (LB300 ~1.9x); LB10K
  * is best on average but LB1K wins on a few benchmarks where conflicts
  * start to dominate coalescing gains.
+ *
+ * Thin wrapper over src/exp: the grid comes from exp::figureSweep(13)
+ * and the normalized table from exp::figureTable.
  */
 
+#include <iostream>
+
 #include "bench_util.hh"
+#include "exp/figures.hh"
 #include "workload/synthetic/presets.hh"
 
 using namespace persim;
 using namespace persim::bench;
-using model::PersistencyModel;
-using persist::BarrierKind;
 
 namespace
 {
 
-struct Config
-{
-    const char *label;
-    PersistencyModel pm;
-    unsigned epochSize;
-};
-
-const std::vector<Config> kConfigs = {
-    {"NP", PersistencyModel::NoPersistency, 0},
-    {"LB300", PersistencyModel::BufferedStrict, 300},
-    {"LB1K", PersistencyModel::BufferedStrict, 1000},
-    {"LB10K", PersistencyModel::BufferedStrict, 10000},
-};
-
-void
-cell(benchmark::State &state, const std::string &preset,
-     const Config &cfg)
-{
-    const std::uint64_t ops = envOps(20000);
-    const unsigned cores = envCores();
-    for (auto _ : state) {
-        const Row &row =
-            runBspCell(preset, cfg.pm, BarrierKind::LB, cfg.epochSize,
-                       /*logging=*/true, cfg.label, ops, cores,
-                       envSeed());
-        exportCounters(state, row);
-    }
-}
-
 void
 registerAll()
 {
-    for (const auto &preset : workload::syntheticPresetNames()) {
-        for (const Config &cfg : kConfigs) {
-            std::string name =
-                std::string("fig13/") + preset + "/" + cfg.label;
-            benchmark::RegisterBenchmark(
-                name.c_str(),
-                [preset, cfg](benchmark::State &st) {
-                    cell(st, preset, cfg);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
+    const exp::Sweep sweep =
+        exp::figureSweep(13, envOps(20000), envCores(), envSeed());
+    for (const exp::ExperimentSpec &spec : sweep.jobs) {
+        const std::string name = spec.sweep + "/" + spec.workload + "/" +
+                                 spec.configLabel;
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [spec](benchmark::State &st) {
+                                         for (auto _ : st)
+                                             exportCounters(
+                                                 st, runSpec(spec));
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
     }
 }
 
@@ -77,29 +53,15 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    std::vector<std::string> configs;
-    for (const Config &c : kConfigs) {
-        if (std::string(c.label) != "NP")
-            configs.push_back(c.label);
-    }
-    printTable(
-        "Figure 13: BSP execution time normalized to NP, varying epoch "
-        "size (lower is better)",
-        workload::syntheticPresetNames(), configs,
-        [](const std::string &w, const std::string &c) {
-            const Row *row = findRow(w, c);
-            const Row *base = findRow(w, "NP");
-            if (!row || !base || base->result.execTicks == 0)
-                return 0.0;
-            return static_cast<double>(row->result.execTicks) /
-                   static_cast<double>(base->result.execTicks);
-        },
-        "gmean", /*useGmean=*/true);
+    exp::printFigureTable(std::cout, exp::figureTable(13, outcomes()));
 
     // Coalescing view: NVRAM line writes (data + log + checkpoint),
     // in thousands — the §7.2 mechanism behind the epoch-size effect.
     // (NP performs almost no NVRAM writes at these run lengths, so an
     // NP-normalized ratio would be meaningless.)
+    std::vector<std::string> configs;
+    for (const char *c : {"LB300", "LB1K", "LB10K"})
+        configs.push_back(c);
     printTable(
         "NVRAM line writes (x1000; persist + log + checkpoint traffic)",
         workload::syntheticPresetNames(), configs,

@@ -6,70 +6,40 @@
  * Paper result: LB ~1.5x, LB+IDT ~1.35x, LB++ ~1.3x, LB++NOLOG ~1.16x;
  * ~86% of BSP conflicts are inter-thread, which is why IDT matters so
  * much more here than under BEP.
+ *
+ * Thin wrapper over src/exp: the grid comes from exp::figureSweep(14)
+ * and the normalized table from exp::figureTable.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "bench_util.hh"
+#include "exp/figures.hh"
 #include "workload/synthetic/presets.hh"
 
 using namespace persim;
 using namespace persim::bench;
-using model::PersistencyModel;
-using persist::BarrierKind;
 
 namespace
 {
 
-constexpr unsigned kEpochSize = 10000;
-
-struct Config
-{
-    const char *label;
-    PersistencyModel pm;
-    BarrierKind barrier;
-    bool logging;
-};
-
-const std::vector<Config> kConfigs = {
-    {"NP", PersistencyModel::NoPersistency, BarrierKind::None, false},
-    {"LB", PersistencyModel::BufferedStrict, BarrierKind::LB, true},
-    {"LB+IDT", PersistencyModel::BufferedStrict, BarrierKind::LBIDT,
-     true},
-    {"LB++", PersistencyModel::BufferedStrict, BarrierKind::LBPP, true},
-    {"LB++NOLOG", PersistencyModel::BufferedStrict, BarrierKind::LBPP,
-     false},
-};
-
-void
-cell(benchmark::State &state, const std::string &preset,
-     const Config &cfg)
-{
-    const std::uint64_t ops = envOps(20000);
-    const unsigned cores = envCores();
-    for (auto _ : state) {
-        const Row &row =
-            runBspCell(preset, cfg.pm, cfg.barrier, kEpochSize,
-                       cfg.logging, cfg.label, ops, cores, envSeed());
-        exportCounters(state, row);
-    }
-}
-
 void
 registerAll()
 {
-    for (const auto &preset : workload::syntheticPresetNames()) {
-        for (const Config &cfg : kConfigs) {
-            std::string name =
-                std::string("fig14/") + preset + "/" + cfg.label;
-            benchmark::RegisterBenchmark(
-                name.c_str(),
-                [preset, cfg](benchmark::State &st) {
-                    cell(st, preset, cfg);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
+    const exp::Sweep sweep =
+        exp::figureSweep(14, envOps(20000), envCores(), envSeed());
+    for (const exp::ExperimentSpec &spec : sweep.jobs) {
+        const std::string name = spec.sweep + "/" + spec.workload + "/" +
+                                 spec.configLabel;
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [spec](benchmark::State &st) {
+                                         for (auto _ : st)
+                                             exportCounters(
+                                                 st, runSpec(spec));
+                                     })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
     }
 }
 
@@ -83,27 +53,9 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    std::vector<std::string> configs;
-    for (const Config &c : kConfigs) {
-        if (std::string(c.label) != "NP")
-            configs.push_back(c.label);
-    }
-    printTable(
-        "Figure 14: BSP execution time normalized to NP at epoch size "
-        "10000 (lower is better)",
-        workload::syntheticPresetNames(), configs,
-        [](const std::string &w, const std::string &c) {
-            const Row *row = findRow(w, c);
-            const Row *base = findRow(w, "NP");
-            if (!row || !base || base->result.execTicks == 0)
-                return 0.0;
-            return static_cast<double>(row->result.execTicks) /
-                   static_cast<double>(base->result.execTicks);
-        },
-        "gmean", /*useGmean=*/true);
+    exp::printFigureTable(std::cout, exp::figureTable(14, outcomes()));
 
     // §7.2: conflict-type breakdown under LB (paper: ~86% inter-thread).
-    const unsigned cores = envCores();
     double intra = 0, inter = 0, repl = 0;
     for (const auto &preset : workload::syntheticPresetNames()) {
         const Row *row = findRow(preset, "LB");
@@ -119,7 +71,6 @@ main(int argc, char **argv)
                     ? row->stats.at("persist.replacementConflicts")
                     : 0;
     }
-    (void)cores;
     const double total = intra + inter + repl;
     if (total > 0) {
         std::printf("\nConflict breakdown under LB (paper: ~86%% "

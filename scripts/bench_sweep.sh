@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_sweep.json: the fig11-grid orchestrator benchmark.
+#
+# Runs the full Figure 11 grid through persim_sweep serially and with 8
+# workers, verifies the two JSON outputs are byte-identical (the
+# determinism contract), and records wall-clock + speedup together with
+# the host's CPU budget. Speedup is bounded by min(8, host CPUs, 20
+# jobs); on a single-CPU host expect ~1.0.
+#
+# Usage: scripts/bench_sweep.sh [build-dir] [out-file]
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-BENCH_sweep.json}
+sweep="$build/tools/persim_sweep"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+[ -x "$sweep" ] || { echo "error: $sweep not built" >&2; exit 1; }
+
+echo "fig11 grid, --jobs 1 ..." >&2
+"$sweep" --figure 11 --jobs 1 --quiet \
+    --out "$tmp/j1.json" --timing-out "$tmp/t1.json" >/dev/null
+
+echo "fig11 grid, --jobs 8 ..." >&2
+"$sweep" --figure 11 --jobs 8 --quiet \
+    --out "$tmp/j8.json" --timing-out "$tmp/t8.json" >/dev/null
+
+if cmp -s "$tmp/j1.json" "$tmp/j8.json"; then
+    deterministic=true
+else
+    deterministic=false
+fi
+
+python3 - "$tmp" "$out" "$deterministic" <<'EOF'
+import json, os, sys
+
+tmp, out, deterministic = sys.argv[1], sys.argv[2], sys.argv[3] == "true"
+t1 = json.load(open(os.path.join(tmp, "t1.json")))
+t8 = json.load(open(os.path.join(tmp, "t8.json")))
+doc = {
+    "benchmark": "persim_sweep --figure 11 (full grid, 32 cores, 300 ops)",
+    "jobCount": t1["jobCount"],
+    "hostCpus": os.cpu_count(),
+    "deterministic_j1_vs_j8": deterministic,
+    "wallMs_jobs1": round(t1["wallMs"], 1),
+    "wallMs_jobs8": round(t8["wallMs"], 1),
+    "speedup_jobs8": round(t1["wallMs"] / t8["wallMs"], 3),
+    "note": "speedup is bounded by min(8, hostCpus, jobCount); "
+            "a 1-CPU host yields ~1.0 by construction",
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF
+
+$deterministic || { echo "error: sweep output not deterministic!" >&2; exit 1; }

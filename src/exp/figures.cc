@@ -1,0 +1,277 @@
+#include "exp/figures.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "exp/stats_export.hh"
+#include "sim/logging.hh"
+
+namespace persim::exp
+{
+
+namespace
+{
+
+/** Sum "<prefix><i><suffix>" over all per-core stat instances. */
+double
+sumPerCore(const std::map<std::string, double> &stats,
+           const std::string &prefix, const std::string &suffix,
+           unsigned cores)
+{
+    double total = 0;
+    for (unsigned c = 0; c < cores; ++c) {
+        auto it = stats.find(prefix + std::to_string(c) + suffix);
+        if (it != stats.end())
+            total += it->second;
+    }
+    return total;
+}
+
+/** First outcome matching (workload, config); nullptr if missing. */
+const JobOutcome *
+findOutcome(const std::vector<JobOutcome> &outcomes,
+            const std::string &workload, const std::string &config)
+{
+    for (const JobOutcome &o : outcomes) {
+        if (o.spec.workload == workload && o.spec.configLabel == config)
+            return &o;
+    }
+    return nullptr;
+}
+
+/** Distinct workloads / config labels in first-appearance order. */
+void
+collectAxes(const std::vector<JobOutcome> &outcomes,
+            std::vector<std::string> &rows, std::vector<std::string> &cols)
+{
+    for (const JobOutcome &o : outcomes) {
+        if (std::find(rows.begin(), rows.end(), o.spec.workload) ==
+            rows.end())
+            rows.push_back(o.spec.workload);
+        if (std::find(cols.begin(), cols.end(), o.spec.configLabel) ==
+            cols.end())
+            cols.push_back(o.spec.configLabel);
+    }
+}
+
+} // namespace
+
+double
+gmean(const std::vector<double> &xs)
+{
+    double logSum = 0;
+    std::size_t n = 0;
+    for (double x : xs) {
+        if (x > 0) {
+            logSum += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(logSum / static_cast<double>(n)) : 0.0;
+}
+
+double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+conflictPct(const JobOutcome &outcome)
+{
+    const unsigned cores = outcome.spec.cores;
+    const double conflicted =
+        sumPerCore(outcome.stats, "persist.arbiter", ".flushIntra",
+                   cores) +
+        sumPerCore(outcome.stats, "persist.arbiter", ".flushInter",
+                   cores) +
+        sumPerCore(outcome.stats, "persist.arbiter", ".flushReplacement",
+                   cores);
+    const double total = sumPerCore(outcome.stats, "persist.arbiter",
+                                    ".epochsPersisted", cores);
+    return total > 0 ? 100.0 * conflicted / total : 0.0;
+}
+
+FigureTable
+figureTable(int figure, const std::vector<JobOutcome> &outcomes)
+{
+    FigureTable table;
+    std::vector<std::string> allCols;
+    collectAxes(outcomes, table.rows, allCols);
+
+    // (workload, config) -> cell value.
+    auto cellValue = [&](const std::string &w,
+                         const std::string &c) -> double {
+        const JobOutcome *o = findOutcome(outcomes, w, c);
+        if (!o || !o->ok)
+            return 0.0;
+        switch (figure) {
+        case 11: { // throughput normalized to LB
+            const JobOutcome *base = findOutcome(outcomes, w, "LB");
+            if (!base || !base->ok ||
+                base->result.throughput() == 0)
+                return 0.0;
+            return o->result.throughput() / base->result.throughput();
+        }
+        case 12: // % epochs flushed because of a conflict
+            return conflictPct(*o);
+        case 13:
+        case 14: { // execution time normalized to NP
+            const JobOutcome *base = findOutcome(outcomes, w, "NP");
+            if (!base || !base->ok || base->result.execTicks == 0)
+                return 0.0;
+            return static_cast<double>(o->result.execTicks) /
+                   static_cast<double>(base->result.execTicks);
+        }
+        default:
+            fatal("figureTable: unknown figure ", figure);
+        }
+    };
+
+    switch (figure) {
+    case 11:
+        table.title = "Figure 11: transaction throughput normalized to "
+                      "LB (higher is better)";
+        table.meanLabel = "gmean";
+        table.useGmean = true;
+        table.cols = allCols;
+        break;
+    case 12:
+        table.title = "Figure 12: % epochs flushed because of a "
+                      "conflict (lower is better)";
+        table.meanLabel = "amean";
+        table.useGmean = false;
+        table.cols = allCols;
+        break;
+    case 13:
+        table.title = "Figure 13: BSP execution time normalized to NP, "
+                      "varying epoch size (lower is better)";
+        table.meanLabel = "gmean";
+        table.useGmean = true;
+        break;
+    case 14:
+        table.title = "Figure 14: BSP execution time normalized to NP "
+                      "at epoch size 10000 (lower is better)";
+        table.meanLabel = "gmean";
+        table.useGmean = true;
+        break;
+    default:
+        fatal("figureTable: unknown figure ", figure);
+    }
+    if (figure == 13 || figure == 14) {
+        // The NP baseline normalizes the other columns; drop it.
+        for (const std::string &c : allCols) {
+            if (c != "NP")
+                table.cols.push_back(c);
+        }
+    }
+
+    for (const std::string &w : table.rows) {
+        std::vector<double> row;
+        row.reserve(table.cols.size());
+        for (const std::string &c : table.cols)
+            row.push_back(cellValue(w, c));
+        table.cells.push_back(std::move(row));
+    }
+    for (std::size_t c = 0; c < table.cols.size(); ++c) {
+        std::vector<double> colVals;
+        colVals.reserve(table.rows.size());
+        for (std::size_t r = 0; r < table.rows.size(); ++r)
+            colVals.push_back(table.cells[r][c]);
+        table.means.push_back(table.useGmean ? gmean(colVals)
+                                             : amean(colVals));
+    }
+    return table;
+}
+
+void
+printFigureTable(std::ostream &os, const FigureTable &table)
+{
+    char buf[64];
+    os << "\n=== " << table.title << " ===\n";
+    std::snprintf(buf, sizeof(buf), "%-12s", "workload");
+    os << buf;
+    for (const auto &c : table.cols) {
+        std::snprintf(buf, sizeof(buf), " %12s", c.c_str());
+        os << buf;
+    }
+    os << '\n';
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        std::snprintf(buf, sizeof(buf), "%-12s", table.rows[r].c_str());
+        os << buf;
+        for (double v : table.cells[r]) {
+            std::snprintf(buf, sizeof(buf), " %12.3f", v);
+            os << buf;
+        }
+        os << '\n';
+    }
+    std::snprintf(buf, sizeof(buf), "%-12s", table.meanLabel.c_str());
+    os << buf;
+    for (double m : table.means) {
+        std::snprintf(buf, sizeof(buf), " %12.3f", m);
+        os << buf;
+    }
+    os << '\n';
+}
+
+JsonValue
+figureTableToJson(const FigureTable &table)
+{
+    JsonValue out = JsonValue::object();
+    out["title"] = JsonValue(table.title);
+    out["meanLabel"] = JsonValue(table.meanLabel);
+    JsonValue rows = JsonValue::array();
+    for (const auto &r : table.rows)
+        rows.push(JsonValue(r));
+    out["rows"] = std::move(rows);
+    JsonValue cols = JsonValue::array();
+    for (const auto &c : table.cols)
+        cols.push(JsonValue(c));
+    out["cols"] = std::move(cols);
+    JsonValue cells = JsonValue::array();
+    for (const auto &row : table.cells) {
+        JsonValue jr = JsonValue::array();
+        for (double v : row)
+            jr.push(JsonValue(v));
+        cells.push(std::move(jr));
+    }
+    out["cells"] = std::move(cells);
+    JsonValue means = JsonValue::array();
+    for (double m : table.means)
+        means.push(JsonValue(m));
+    out["means"] = std::move(means);
+    return out;
+}
+
+void
+figureTableToCsv(std::ostream &os, const FigureTable &table)
+{
+    std::vector<std::string> header = {"workload"};
+    header.insert(header.end(), table.cols.begin(), table.cols.end());
+    std::vector<std::vector<std::string>> rows;
+    auto fmt = [](double v) {
+        std::ostringstream ss;
+        writeJsonNumber(ss, v);
+        return ss.str();
+    };
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        std::vector<std::string> row = {table.rows[r]};
+        for (double v : table.cells[r])
+            row.push_back(fmt(v));
+        rows.push_back(std::move(row));
+    }
+    std::vector<std::string> meanRow = {table.meanLabel};
+    for (double m : table.means)
+        meanRow.push_back(fmt(m));
+    rows.push_back(std::move(meanRow));
+    writeCsv(os, header, rows);
+}
+
+} // namespace persim::exp

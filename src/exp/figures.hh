@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure-table computation over sweep outcomes.
+ *
+ * Each paper figure reduces its config grid to one table:
+ *   - Fig 11: transaction throughput normalized to LB (gmean).
+ *   - Fig 12: % of epochs flushed because of a conflict (amean).
+ *   - Fig 13/14: execution time normalized to the NP baseline (gmean).
+ *
+ * One implementation serves the bench binaries, persim_sweep's JSON /
+ * CSV / stdout output, and the tests.
+ */
+
+#ifndef PERSIM_EXP_FIGURES_HH
+#define PERSIM_EXP_FIGURES_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "exp/runner.hh"
+
+namespace persim::exp
+{
+
+/** One figure reduced to rows (workloads) x cols (configs). */
+struct FigureTable
+{
+    std::string title;
+    std::vector<std::string> rows;
+    std::vector<std::string> cols;
+    /** cells[r][c]; 0.0 marks a missing/failed cell. */
+    std::vector<std::vector<double>> cells;
+    std::string meanLabel; // "gmean" or "amean"
+    bool useGmean = true;
+    /** Column means over the workloads (matching meanLabel). */
+    std::vector<double> means;
+};
+
+/** Geometric mean of @p xs (non-positive entries are skipped). */
+double gmean(const std::vector<double> &xs);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &xs);
+
+/**
+ * Fraction (in %) of persisted epochs that were flushed early because
+ * of a conflict — Figure 12's metric — for one outcome.
+ */
+double conflictPct(const JobOutcome &outcome);
+
+/** Reduce @p outcomes to figure @p figure's table. */
+FigureTable figureTable(int figure,
+                        const std::vector<JobOutcome> &outcomes);
+
+/** Render as an aligned text table (the bench binaries' format). */
+void printFigureTable(std::ostream &os, const FigureTable &table);
+
+/** Serialize: {"title", "rows", "cols", "cells", "means", ...}. */
+JsonValue figureTableToJson(const FigureTable &table);
+
+/** CSV: header "workload,<cols...>", one row per workload + mean row. */
+void figureTableToCsv(std::ostream &os, const FigureTable &table);
+
+} // namespace persim::exp
+
+#endif // PERSIM_EXP_FIGURES_HH

@@ -1,0 +1,251 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "exp/stats_export.hh"
+
+namespace persim::exp
+{
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+JsonValue
+JobOutcome::toJson(bool includeStats) const
+{
+    JsonValue out = JsonValue::object();
+    out["id"] = JsonValue(spec.id());
+    out["spec"] = spec.toJson();
+    out["ok"] = JsonValue(ok);
+    out["attempts"] = JsonValue(attempts);
+    if (!ok)
+        out["error"] = JsonValue(error);
+    out["result"] = simResultToJson(result);
+    if (includeStats)
+        out["groups"] = statTree;
+    return out;
+}
+
+JobOutcome
+runJob(const ExperimentSpec &spec, unsigned maxAttempts,
+       const std::function<void(model::SystemConfig &)> &tweak)
+{
+    JobOutcome out;
+    out.spec = spec;
+    if (maxAttempts == 0)
+        maxAttempts = 1;
+
+    for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+        out.attempts = attempt;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            model::SystemConfig cfg = spec.toSystemConfig();
+            if (tweak)
+                tweak(cfg);
+            model::System sys(cfg);
+            auto workloads = spec.buildWorkloads();
+            for (unsigned t = 0; t < cfg.numCores; ++t)
+                sys.setWorkload(static_cast<CoreId>(t),
+                                std::move(workloads[t]));
+            out.result = sys.run();
+            out.stats = sys.stats();
+            out.statTree = statGroupsToJson(sys.statGroups());
+            out.ok = true;
+            out.error.clear();
+            out.wallMs = msSince(start);
+            return out;
+        } catch (const std::exception &e) {
+            out.ok = false;
+            out.error = e.what();
+            out.wallMs = msSince(start);
+        } catch (...) {
+            out.ok = false;
+            out.error = "unknown exception";
+            out.wallMs = msSince(start);
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// WorkStealingPool
+// ---------------------------------------------------------------------
+
+WorkStealingPool::WorkStealingPool(unsigned numWorkers,
+                                   std::size_t numJobs)
+    : _numWorkers(numWorkers ? numWorkers : 1),
+      _executed(_numWorkers, 0), _steals(_numWorkers, 0)
+{
+    _deques.reserve(_numWorkers);
+    for (unsigned w = 0; w < _numWorkers; ++w)
+        _deques.push_back(std::make_unique<WorkerDeque>());
+    // Deal jobs round-robin so every worker starts with a local run
+    // of the grid; imbalance is fixed dynamically by stealing.
+    for (std::size_t j = 0; j < numJobs; ++j)
+        _deques[j % _numWorkers]->jobs.push_back(j);
+}
+
+bool
+WorkStealingPool::popOwn(unsigned worker, std::size_t &out)
+{
+    WorkerDeque &dq = *_deques[worker];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty())
+        return false;
+    out = dq.jobs.back();
+    dq.jobs.pop_back();
+    return true;
+}
+
+bool
+WorkStealingPool::stealFrom(unsigned victim, std::size_t &out)
+{
+    WorkerDeque &dq = *_deques[victim];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty())
+        return false;
+    out = dq.jobs.front();
+    dq.jobs.pop_front();
+    return true;
+}
+
+void
+WorkStealingPool::run(
+    const std::function<void(std::size_t, unsigned)> &fn)
+{
+    auto workerLoop = [this, &fn](unsigned worker) {
+        while (true) {
+            std::size_t job;
+            if (popOwn(worker, job)) {
+                fn(job, worker);
+                ++_executed[worker];
+                continue;
+            }
+            bool stole = false;
+            for (unsigned i = 1; i < _numWorkers && !stole; ++i) {
+                const unsigned victim = (worker + i) % _numWorkers;
+                if (stealFrom(victim, job)) {
+                    fn(job, worker);
+                    ++_executed[worker];
+                    ++_steals[worker];
+                    stole = true;
+                }
+            }
+            if (!stole)
+                return; // every deque empty: no new work is ever added
+        }
+    };
+
+    if (_numWorkers == 1) {
+        workerLoop(0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(_numWorkers);
+    for (unsigned w = 0; w < _numWorkers; ++w)
+        threads.emplace_back(workerLoop, w);
+    for (auto &t : threads)
+        t.join();
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------
+
+std::vector<JobOutcome>
+SweepRunner::run(const Sweep &sweep)
+{
+    const std::size_t total = sweep.jobs.size();
+    std::vector<JobOutcome> outcomes(total);
+    _traceRecords.clear();
+
+    // Which job (if any) records a trace.
+    std::size_t traceIndex = SIZE_MAX;
+    if (!_opts.traceFlags.empty()) {
+        traceIndex = 0;
+        if (!_opts.traceJobId.empty()) {
+            traceIndex = SIZE_MAX;
+            for (std::size_t i = 0; i < total; ++i) {
+                if (sweep.jobs[i].id() == _opts.traceJobId) {
+                    traceIndex = i;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+    trace::Recorder recorder(_opts.traceFlags);
+
+    const auto start = std::chrono::steady_clock::now();
+    WorkStealingPool pool(_opts.jobs, total);
+    pool.run([&](std::size_t index, unsigned worker) {
+        const ExperimentSpec &spec = sweep.jobs[index];
+
+        const bool tracing = index == traceIndex;
+        if (tracing)
+            trace::attachRecorder(&recorder);
+        JobOutcome outcome = runJob(spec, _opts.maxAttempts);
+        if (tracing)
+            trace::detachRecorder();
+
+        outcome.index = index;
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (_opts.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            if (outcome.ok) {
+                std::fprintf(stderr,
+                             "  [%zu/%zu] %-28s ok    %8.3f Mcycles  "
+                             "%7.0f ms  (w%u)\n",
+                             finished, total, spec.id().c_str(),
+                             outcome.result.execTicks / 1e6,
+                             outcome.wallMs, worker);
+            } else {
+                std::fprintf(stderr,
+                             "  [%zu/%zu] %-28s FAILED after %u "
+                             "attempt(s): %s\n",
+                             finished, total, spec.id().c_str(),
+                             outcome.attempts, outcome.error.c_str());
+            }
+        }
+        outcomes[index] = std::move(outcome);
+    });
+    _wallMs = msSince(start);
+    _traceRecords = recorder.records();
+    return outcomes;
+}
+
+JsonValue
+sweepToJson(const Sweep &sweep, const std::vector<JobOutcome> &outcomes,
+            bool includeStats)
+{
+    JsonValue out = JsonValue::object();
+    out["sweep"] = JsonValue(sweep.name);
+    out["jobCount"] = JsonValue(outcomes.size());
+    std::size_t failed = 0;
+    for (const JobOutcome &o : outcomes)
+        failed += o.ok ? 0 : 1;
+    out["failed"] = JsonValue(failed);
+    JsonValue jobs = JsonValue::array();
+    for (const JobOutcome &o : outcomes)
+        jobs.push(o.toJson(includeStats));
+    out["jobs"] = std::move(jobs);
+    return out;
+}
+
+} // namespace persim::exp

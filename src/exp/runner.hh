@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Parallel sweep execution.
+ *
+ * Every Persimmon System is single-threaded and deterministic, so a
+ * sweep is embarrassingly parallel: the runner hands each job its own
+ * System on one worker thread and collects results by job index. The
+ * output is therefore byte-identical no matter how many workers run it
+ * or how the jobs interleave.
+ *
+ * Scheduling is work-stealing: jobs are dealt round-robin into
+ * per-worker deques; a worker pops from the back of its own deque and,
+ * when empty, steals from the front of a victim's. Simulated cells vary
+ * wildly in cost (a 10K-epoch BSP run is orders of magnitude longer
+ * than an NP baseline), so stealing — not static partitioning — is
+ * what keeps all cores busy until the tail.
+ *
+ * Jobs are isolated: an exception inside one job (bad config, panic,
+ * bug) is caught, retried up to maxAttempts times, and recorded as a
+ * failed outcome; it never takes down the sweep.
+ */
+
+#ifndef PERSIM_EXP_RUNNER_HH
+#define PERSIM_EXP_RUNNER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "exp/spec.hh"
+#include "model/system.hh"
+#include "sim/trace.hh"
+
+namespace persim::exp
+{
+
+/** Result of running one ExperimentSpec (successfully or not). */
+struct JobOutcome
+{
+    std::size_t index = 0;
+    ExperimentSpec spec;
+
+    /** The job ran to the end without throwing. */
+    bool ok = false;
+
+    /** Attempts used (> 1 means at least one retry happened). */
+    unsigned attempts = 0;
+
+    /** Exception text of the last failed attempt (failed jobs only). */
+    std::string error;
+
+    model::SimResult result;
+    std::map<std::string, double> stats;
+
+    /** Structured StatGroup tree (statGroupsToJson). */
+    JsonValue statTree;
+
+    /**
+     * Host wall-clock of the last attempt, milliseconds. Never included
+     * in toJson(): deterministic output must not depend on the host.
+     */
+    double wallMs = 0.0;
+
+    /** Deterministic serialization (spec, status, result, stats). */
+    JsonValue toJson(bool includeStats = true) const;
+};
+
+/**
+ * Run one job synchronously on the calling thread.
+ *
+ * @param tweak Optional config hook applied after the spec's own
+ *              SystemConfig is built (ablation benches use this).
+ */
+JobOutcome runJob(const ExperimentSpec &spec, unsigned maxAttempts = 1,
+                  const std::function<void(model::SystemConfig &)> &tweak =
+                      {});
+
+/**
+ * Generic work-stealing index pool: runs fn(jobIndex) for every index
+ * in [0, numJobs) across numWorkers threads. Exposed for tests; the
+ * deques are mutex-guarded (contention is negligible next to the
+ * milliseconds-to-minutes cost of one simulation job).
+ */
+class WorkStealingPool
+{
+  public:
+    WorkStealingPool(unsigned numWorkers, std::size_t numJobs);
+
+    /** Run all jobs; returns when every index has been executed. */
+    void run(const std::function<void(std::size_t jobIndex,
+                                      unsigned workerId)> &fn);
+
+    /** Jobs executed by each worker (after run(); for tests/telemetry). */
+    const std::vector<std::uint64_t> &executedPerWorker() const
+    {
+        return _executed;
+    }
+
+    /** Successful steals per worker (after run()). */
+    const std::vector<std::uint64_t> &stealsPerWorker() const
+    {
+        return _steals;
+    }
+
+  private:
+    struct WorkerDeque
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> jobs;
+    };
+
+    bool popOwn(unsigned worker, std::size_t &out);
+    bool stealFrom(unsigned victim, std::size_t &out);
+
+    unsigned _numWorkers;
+    std::vector<std::unique_ptr<WorkerDeque>> _deques;
+    std::vector<std::uint64_t> _executed;
+    std::vector<std::uint64_t> _steals;
+};
+
+/** Sweep execution options. */
+struct RunnerOptions
+{
+    /** Worker threads (1 = serial). */
+    unsigned jobs = 1;
+
+    /** Attempts per job (>= 1; retries happen only after exceptions). */
+    unsigned maxAttempts = 2;
+
+    /** Print "[done/total] id status" lines to stderr as jobs finish. */
+    bool progress = true;
+
+    /**
+     * When non-empty: capture this trace-flag set ("Epoch,Flush" or
+     * "all") for the job whose spec id matches traceJobId (or the first
+     * job when traceJobId is empty). Recorded events are available from
+     * traceRecords() after run().
+     */
+    std::string traceFlags;
+    std::string traceJobId;
+};
+
+/** Runs a Sweep and owns the optional trace capture. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions opts) : _opts(std::move(opts)) {}
+
+    /** Run every job; outcomes are ordered by job index. */
+    std::vector<JobOutcome> run(const Sweep &sweep);
+
+    /** Captured trace events (empty unless traceFlags was set). */
+    const std::vector<trace::Record> &traceRecords() const
+    {
+        return _traceRecords;
+    }
+
+    /** Total wall-clock of the last run() in milliseconds. */
+    double wallMs() const { return _wallMs; }
+
+  private:
+    RunnerOptions _opts;
+    std::vector<trace::Record> _traceRecords;
+    double _wallMs = 0.0;
+};
+
+/**
+ * Deterministic JSON document for a completed sweep: options-independent
+ * (no worker count, no wall clock), so serial and parallel runs of the
+ * same Sweep produce identical bytes.
+ */
+JsonValue sweepToJson(const Sweep &sweep,
+                      const std::vector<JobOutcome> &outcomes,
+                      bool includeStats = true);
+
+} // namespace persim::exp
+
+#endif // PERSIM_EXP_RUNNER_HH

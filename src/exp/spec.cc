@@ -1,0 +1,219 @@
+#include "exp/spec.hh"
+
+#include "sim/logging.hh"
+#include "workload/synthetic/presets.hh"
+#include "workload/workload_factory.hh"
+
+namespace persim::exp
+{
+
+namespace
+{
+
+const std::vector<persist::BarrierKind> kBepVariants = {
+    persist::BarrierKind::LB,
+    persist::BarrierKind::LBIDT,
+    persist::BarrierKind::LBPF,
+    persist::BarrierKind::LBPP,
+};
+
+} // namespace
+
+bool
+ExperimentSpec::isMicro() const
+{
+    for (auto k : workload::allMicroKinds()) {
+        if (workload == workload::toString(k))
+            return true;
+    }
+    return false;
+}
+
+std::string
+ExperimentSpec::id() const
+{
+    return workload + "/" + configLabel + "/s" + std::to_string(seed);
+}
+
+model::SystemConfig
+ExperimentSpec::toSystemConfig() const
+{
+    model::SystemConfig cfg =
+        cores == 32 ? model::SystemConfig::paperTable1()
+                    : model::SystemConfig::smallTest(cores);
+    applyPersistencyModel(cfg, pm, barrier, epochSize);
+    if (pm == model::PersistencyModel::BufferedStrict && !logging) {
+        cfg.barrier.logging = false; // LB++NOLOG ablation
+        cfg.barrier.checkpointLines = 0;
+    }
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<std::unique_ptr<cpu::Workload>>
+ExperimentSpec::buildWorkloads() const
+{
+    if (isMicro()) {
+        workload::MicroConfig mc;
+        mc.kind = workload::microKindFromName(workload);
+        mc.numThreads = cores;
+        mc.opsPerThread = ops;
+        mc.seed = seed;
+        return workload::makeMicroWorkloads(mc);
+    }
+    return workload::makeSyntheticWorkloads(workload, cores, ops, seed);
+}
+
+JsonValue
+ExperimentSpec::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["sweep"] = JsonValue(sweep);
+    out["workload"] = JsonValue(workload);
+    out["config"] = JsonValue(configLabel);
+    out["model"] = JsonValue(model::toString(pm));
+    out["barrier"] = JsonValue(persist::toString(barrier));
+    out["epochSize"] = JsonValue(epochSize);
+    out["logging"] = JsonValue(logging);
+    out["cores"] = JsonValue(cores);
+    out["ops"] = JsonValue(ops);
+    out["seed"] = JsonValue(seed);
+    return out;
+}
+
+void
+Sweep::crossSeeds(const std::vector<std::uint64_t> &seeds)
+{
+    if (seeds.size() <= 1)
+        return;
+    std::vector<ExperimentSpec> expanded;
+    expanded.reserve(jobs.size() * seeds.size());
+    for (const ExperimentSpec &base : jobs) {
+        for (std::uint64_t s : seeds) {
+            ExperimentSpec spec = base;
+            spec.seed = mixSeed(base.seed, s);
+            expanded.push_back(std::move(spec));
+        }
+    }
+    jobs = std::move(expanded);
+}
+
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t salt)
+{
+    // splitmix64 over base ^ golden-ratio-scaled salt: cheap, well
+    // distributed, and identical on every platform.
+    std::uint64_t z = base + salt * UINT64_C(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)) * UINT64_C(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)) * UINT64_C(0x94D049BB133111EB);
+    return z ^ (z >> 31);
+}
+
+const std::vector<int> &
+knownFigures()
+{
+    static const std::vector<int> figs = {11, 12, 13, 14};
+    return figs;
+}
+
+Sweep
+figureSweep(int figure, std::uint64_t ops, unsigned cores,
+            std::uint64_t seed)
+{
+    Sweep sweep;
+    sweep.name = "fig" + std::to_string(figure);
+
+    auto addMicroGrid = [&](std::uint64_t defOps) {
+        const std::uint64_t n = ops ? ops : defOps;
+        for (auto kind : workload::allMicroKinds()) {
+            for (auto barrier : kBepVariants) {
+                ExperimentSpec spec;
+                spec.sweep = sweep.name;
+                spec.workload = workload::toString(kind);
+                spec.configLabel = persist::toString(barrier);
+                spec.pm = model::PersistencyModel::BufferedEpoch;
+                spec.barrier = barrier;
+                spec.cores = cores;
+                spec.ops = n;
+                spec.seed = seed;
+                sweep.jobs.push_back(std::move(spec));
+            }
+        }
+    };
+
+    struct BspConfig
+    {
+        const char *label;
+        model::PersistencyModel pm;
+        persist::BarrierKind barrier;
+        unsigned epochSize;
+        bool logging;
+    };
+
+    auto addBspGrid = [&](const std::vector<BspConfig> &configs,
+                          std::uint64_t defOps) {
+        const std::uint64_t n = ops ? ops : defOps;
+        for (const auto &preset : workload::syntheticPresetNames()) {
+            for (const BspConfig &c : configs) {
+                ExperimentSpec spec;
+                spec.sweep = sweep.name;
+                spec.workload = preset;
+                spec.configLabel = c.label;
+                spec.pm = c.pm;
+                spec.barrier = c.barrier;
+                spec.epochSize = c.epochSize;
+                spec.logging = c.logging;
+                spec.cores = cores;
+                spec.ops = n;
+                spec.seed = seed;
+                sweep.jobs.push_back(std::move(spec));
+            }
+        }
+    };
+
+    using model::PersistencyModel;
+    using persist::BarrierKind;
+
+    switch (figure) {
+    case 11: // BEP throughput, micros x {LB, LB+IDT, LB+PF, LB++}
+    case 12: // same grid; the metric (conflict %) differs
+        addMicroGrid(300);
+        break;
+    case 13: // BSP epoch-size study: NP baseline + LB at 300/1K/10K
+        addBspGrid(
+            {
+                {"NP", PersistencyModel::NoPersistency, BarrierKind::None,
+                 0, false},
+                {"LB300", PersistencyModel::BufferedStrict,
+                 BarrierKind::LB, 300, true},
+                {"LB1K", PersistencyModel::BufferedStrict, BarrierKind::LB,
+                 1000, true},
+                {"LB10K", PersistencyModel::BufferedStrict,
+                 BarrierKind::LB, 10000, true},
+            },
+            20000);
+        break;
+    case 14: // BSP variants at epoch size 10000
+        addBspGrid(
+            {
+                {"NP", PersistencyModel::NoPersistency, BarrierKind::None,
+                 0, false},
+                {"LB", PersistencyModel::BufferedStrict, BarrierKind::LB,
+                 10000, true},
+                {"LB+IDT", PersistencyModel::BufferedStrict,
+                 BarrierKind::LBIDT, 10000, true},
+                {"LB++", PersistencyModel::BufferedStrict,
+                 BarrierKind::LBPP, 10000, true},
+                {"LB++NOLOG", PersistencyModel::BufferedStrict,
+                 BarrierKind::LBPP, 10000, false},
+            },
+            20000);
+        break;
+    default:
+        fatal("figureSweep: unknown figure ", figure,
+              " (known: 11, 12, 13, 14)");
+    }
+    return sweep;
+}
+
+} // namespace persim::exp

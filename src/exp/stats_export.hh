@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Structured export of simulation statistics.
+ *
+ * Three views of the same data:
+ *   - statGroupsToJson(): the full StatGroup tree — scalars plus
+ *     distributions with count/mean/stdev/min/max/sum/p50/p95/p99.
+ *   - flatStatsToJson(): the flat "<component>.<stat>" -> value map
+ *     (what System::stats() returns), for easy diffing.
+ *   - writeCsv(): RFC-4180-style CSV tables for figure data.
+ *
+ * All output is deterministic: group and stat order follow registration
+ * order, numbers use shortest round-trip formatting.
+ */
+
+#ifndef PERSIM_EXP_STATS_EXPORT_HH
+#define PERSIM_EXP_STATS_EXPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "model/system.hh"
+#include "sim/stats.hh"
+
+namespace persim::exp
+{
+
+/** Serialize one distribution's summary (count, moments, tails). */
+JsonValue distributionToJson(const Distribution &d);
+
+/**
+ * Serialize stat groups as
+ * {"<group>": {"scalars": {...}, "distributions": {...}}}.
+ */
+JsonValue statGroupsToJson(const std::vector<const StatGroup *> &groups);
+
+/** Serialize a flat stats map as one JSON object. */
+JsonValue flatStatsToJson(const std::map<std::string, double> &stats);
+
+/** Serialize a SimResult (exec/drain ticks, flags, violations). */
+JsonValue simResultToJson(const model::SimResult &res);
+
+/** Quote a CSV field when it needs quoting (comma, quote, newline). */
+std::string csvField(const std::string &s);
+
+/** Write a header row plus data rows, all fields escaped. */
+void writeCsv(std::ostream &os, const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows);
+
+} // namespace persim::exp
+
+#endif // PERSIM_EXP_STATS_EXPORT_HH

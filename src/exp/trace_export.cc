@@ -1,0 +1,88 @@
+#include "exp/trace_export.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "exp/json.hh"
+
+namespace persim::exp
+{
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<trace::Record> &records,
+                 const std::string &processName)
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue events = JsonValue::array();
+
+    // Stable track ids in order of first appearance.
+    std::map<std::string, unsigned> tids;
+    auto tidFor = [&](const std::string &who) {
+        auto it = tids.find(who);
+        if (it != tids.end())
+            return it->second;
+        const unsigned tid = static_cast<unsigned>(tids.size());
+        tids.emplace(who, tid);
+        return tid;
+    };
+
+    // Process metadata first so the UI labels the run.
+    {
+        JsonValue meta = JsonValue::object();
+        meta["name"] = JsonValue("process_name");
+        meta["ph"] = JsonValue("M");
+        meta["pid"] = JsonValue(0u);
+        meta["tid"] = JsonValue(0u);
+        JsonValue args = JsonValue::object();
+        args["name"] = JsonValue(processName);
+        meta["args"] = std::move(args);
+        events.push(std::move(meta));
+    }
+
+    std::vector<trace::Record> sorted = records;
+    // Recorder appends in simulation order, but make the contract
+    // explicit: Chrome traces want non-decreasing timestamps.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const trace::Record &a, const trace::Record &b) {
+                         return a.tick < b.tick;
+                     });
+
+    // Assign track ids in first-appearance order, then emit the
+    // thread-name metadata (map iteration: sorted by component name).
+    for (const trace::Record &r : sorted)
+        tidFor(r.who);
+    for (const auto &[who, tid] : tids) {
+        JsonValue meta = JsonValue::object();
+        meta["name"] = JsonValue("thread_name");
+        meta["ph"] = JsonValue("M");
+        meta["pid"] = JsonValue(0u);
+        meta["tid"] = JsonValue(tid);
+        JsonValue args = JsonValue::object();
+        args["name"] = JsonValue(who);
+        meta["args"] = std::move(args);
+        events.push(std::move(meta));
+    }
+
+    for (const trace::Record &r : sorted) {
+        JsonValue ev = JsonValue::object();
+        ev["name"] = JsonValue(r.flag);
+        ev["cat"] = JsonValue(r.flag);
+        ev["ph"] = JsonValue("i"); // instant
+        ev["s"] = JsonValue("t");  // thread-scoped
+        ev["ts"] = JsonValue(r.tick);
+        ev["pid"] = JsonValue(0u);
+        ev["tid"] = JsonValue(tids[r.who]);
+        JsonValue args = JsonValue::object();
+        args["msg"] = JsonValue(r.message);
+        ev["args"] = std::move(args);
+        events.push(std::move(ev));
+    }
+
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = JsonValue("ms");
+    doc.write(os, 0);
+    os << '\n';
+}
+
+} // namespace persim::exp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chrome-tracing (Perfetto) export of captured simulator trace events.
+ *
+ * Records captured by a trace::Recorder become a JSON document in the
+ * Chrome trace-event format: open it at chrome://tracing or
+ * https://ui.perfetto.dev. Each simulated component ("persist.arbiter3",
+ * "l1[0]", ...) becomes its own named track; every trace event becomes
+ * an instant event at its simulated tick (rendered as microseconds, so
+ * 1 us on the timeline = 1 core cycle).
+ */
+
+#ifndef PERSIM_EXP_TRACE_EXPORT_HH
+#define PERSIM_EXP_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace persim::exp
+{
+
+/**
+ * Write @p records as a complete Chrome trace-event JSON document.
+ *
+ * @param processName Shown as the process label in the UI (use the
+ *                    job id, e.g. "fig11/hash/LB++").
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<trace::Record> &records,
+                      const std::string &processName);
+
+} // namespace persim::exp
+
+#endif // PERSIM_EXP_TRACE_EXPORT_HH

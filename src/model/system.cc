@@ -178,6 +178,23 @@ System::stats()
     return out;
 }
 
+std::vector<const StatGroup *>
+System::statGroups() const
+{
+    std::vector<const StatGroup *> out;
+    out.push_back(&_mesh->stats());
+    _pc->collectStatGroups(out);
+    for (auto &m : _mcs)
+        out.push_back(&m->stats());
+    for (auto &l : _l1s)
+        out.push_back(&l->stats());
+    for (auto &b : _banks)
+        out.push_back(&b->stats());
+    for (auto &c : _cores)
+        out.push_back(&c->stats());
+    return out;
+}
+
 void
 System::debugDump(std::ostream &os)
 {

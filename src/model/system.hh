@@ -108,6 +108,12 @@ class System
     /** Flatten every stat into "<component>.<stat>" -> value. */
     std::map<std::string, double> stats();
 
+    /**
+     * Every StatGroup in deterministic construction order, for
+     * structured (JSON) export. Core groups exist only after run().
+     */
+    std::vector<const StatGroup *> statGroups() const;
+
     /** Dump all stats as text. */
     void dumpStats(std::ostream &os);
 

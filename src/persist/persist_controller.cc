@@ -455,4 +455,13 @@ PersistController::statsToMap(std::map<std::string, double> &out)
         arb->statGroup.toMap(out);
 }
 
+void
+PersistController::collectStatGroups(
+    std::vector<const StatGroup *> &out) const
+{
+    out.push_back(&statGroup);
+    for (const auto &arb : _arbiters)
+        out.push_back(&arb->statGroup);
+}
+
 } // namespace persim::persist

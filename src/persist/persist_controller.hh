@@ -158,6 +158,9 @@ class PersistController : public SimObject
     /** Collect stats into a flat map. */
     void statsToMap(std::map<std::string, double> &out);
 
+    /** Append this controller's stat groups (own + per-core arbiters). */
+    void collectStatGroups(std::vector<const StatGroup *> &out) const;
+
     // Aggregate counters (summed over arbiters where applicable).
     StatGroup statGroup;
     Scalar statIntraConflicts;

@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <iomanip>
 
@@ -35,6 +37,62 @@ Distribution::sample(double v)
     ++_count;
     _sum += v;
     _sumSq += v * v;
+    ++_hist[bucketFor(v)];
+}
+
+unsigned
+Distribution::bucketFor(double v)
+{
+    if (!(v > 0.0))
+        return 0;
+    // Saturate huge samples into the top octave rather than overflowing
+    // the uint64 conversion below.
+    if (v >= 18446744073709551615.0)
+        return kNumBuckets - 1;
+    const std::uint64_t u = static_cast<std::uint64_t>(v);
+    // Small values get exact buckets: u in [0, 2*kSubBuckets).
+    if (u < 2 * kSubBuckets)
+        return static_cast<unsigned>(u);
+    const unsigned exp = static_cast<unsigned>(std::bit_width(u)) - 1;
+    const unsigned sub = static_cast<unsigned>(
+        (u >> (exp - kSubBucketBits)) & (kSubBuckets - 1));
+    return ((exp - kSubBucketBits + 1) << kSubBucketBits) + sub;
+}
+
+double
+Distribution::bucketValue(unsigned b)
+{
+    if (b < 2 * kSubBuckets)
+        return static_cast<double>(b);
+    const unsigned exp = (b >> kSubBucketBits) + kSubBucketBits - 1;
+    const unsigned sub = b & (kSubBuckets - 1);
+    // Upper bound of the bucket: the largest value that maps into it.
+    const double base = std::ldexp(1.0, static_cast<int>(exp));
+    const double step = std::ldexp(1.0, static_cast<int>(exp) -
+                                            static_cast<int>(kSubBucketBits));
+    return base + step * (sub + 1) - 1.0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double want = p / 100.0 * static_cast<double>(_count);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(want));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        seen += _hist[b];
+        if (seen >= target) {
+            // Clamp the bucket representative into the observed range so
+            // p0/p100 agree with min()/max().
+            return std::clamp(bucketValue(b), min(), max());
+        }
+    }
+    return max();
 }
 
 double
@@ -52,6 +110,7 @@ Distribution::reset()
 {
     _count = 0;
     _sum = _sumSq = _min = _max = 0.0;
+    _hist.fill(0);
 }
 
 void
@@ -66,7 +125,9 @@ StatGroup::dump(std::ostream &os) const
         os << std::left << std::setw(48)
            << (_name + "." + d->name() + ".mean") << ' ' << std::setw(16)
            << d->mean() << " # " << d->desc() << " (n=" << d->count()
-           << ", min=" << d->min() << ", max=" << d->max() << ")\n";
+           << ", min=" << d->min() << ", max=" << d->max()
+           << ", p50=" << d->p50() << ", p95=" << d->p95()
+           << ", p99=" << d->p99() << ")\n";
     }
 }
 
@@ -81,6 +142,9 @@ StatGroup::toMap(std::map<std::string, double> &out) const
         out[_name + "." + d->name() + ".mean"] = d->mean();
         out[_name + "." + d->name() + ".sum"] = d->sum();
         out[_name + "." + d->name() + ".max"] = d->max();
+        out[_name + "." + d->name() + ".p50"] = d->p50();
+        out[_name + "." + d->name() + ".p95"] = d->p95();
+        out[_name + "." + d->name() + ".p99"] = d->p99();
     }
 }
 

@@ -10,6 +10,7 @@
 #ifndef PERSIM_SIM_STATS_HH
 #define PERSIM_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -57,7 +58,15 @@ class Scalar
     std::uint64_t _value = 0;
 };
 
-/** Streaming distribution: count / sum / min / max / mean / stdev. */
+/**
+ * Streaming distribution: count / sum / min / max / mean / stdev, plus
+ * approximate percentiles from a fixed-bucket log-scale histogram.
+ *
+ * The histogram has 8 sub-buckets per power of two (HdrHistogram-style),
+ * giving a worst-case relative quantile error of ~12.5% at any scale —
+ * plenty for comparing persist-latency tails across configurations.
+ * Negative samples are clamped into bucket 0.
+ */
 class Distribution
 {
   public:
@@ -74,12 +83,33 @@ class Distribution
     /** Population standard deviation. */
     double stdev() const;
 
+    /**
+     * Approximate inverse CDF: smallest histogram-bucket value v such
+     * that at least @p p percent of the samples are <= v. @p p is
+     * clamped to [0, 100]; returns 0 on an empty distribution.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
 
     void reset();
 
   private:
+    /** Sub-bucket resolution: 2^3 buckets per octave. */
+    static constexpr unsigned kSubBucketBits = 3;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    /** Exponents 0..63 plus the exact small-value range. */
+    static constexpr unsigned kNumBuckets = (64 + 1) << kSubBucketBits;
+
+    static unsigned bucketFor(double v);
+    /** Representative (upper-bound) sample value of bucket @p b. */
+    static double bucketValue(unsigned b);
+
     std::string _name;
     std::string _desc;
     std::uint64_t _count = 0;
@@ -87,6 +117,7 @@ class Distribution
     double _sumSq = 0.0;
     double _min = 0.0;
     double _max = 0.0;
+    std::array<std::uint64_t, kNumBuckets> _hist{};
 };
 
 /**

@@ -42,19 +42,70 @@ state()
     return s;
 }
 
+thread_local Recorder *tlRecorder = nullptr;
+
+bool
+envEnabled(const char *flag)
+{
+    const TraceState &s = state();
+    return s.any && (s.all || s.flags.contains(flag));
+}
+
 } // namespace
+
+Recorder::Recorder(const std::string &flagsCsv)
+{
+    std::stringstream ss(flagsCsv);
+    std::string flag;
+    while (std::getline(ss, flag, ',')) {
+        if (flag == "all")
+            _all = true;
+        else if (!flag.empty())
+            _flags.push_back(flag);
+    }
+}
+
+bool
+Recorder::wants(const char *flag) const
+{
+    if (_all)
+        return true;
+    for (const std::string &f : _flags) {
+        if (f == flag)
+            return true;
+    }
+    return false;
+}
+
+void
+attachRecorder(Recorder *r)
+{
+    tlRecorder = r;
+}
+
+void
+detachRecorder()
+{
+    tlRecorder = nullptr;
+}
 
 bool
 enabled(const char *flag)
 {
-    const TraceState &s = state();
-    return s.any && (s.all || s.flags.contains(flag));
+    if (tlRecorder && tlRecorder->wants(flag))
+        return true;
+    return envEnabled(flag);
 }
 
 void
 emit(const char *flag, Tick when, const std::string &who,
      const std::string &message)
 {
+    if (tlRecorder && tlRecorder->wants(flag)) {
+        tlRecorder->add(Record{when, flag, who, message});
+        if (!envEnabled(flag))
+            return;
+    }
     std::fprintf(stderr, "%10llu: %s: %s: %s\n",
                  static_cast<unsigned long long>(when), flag,
                  who.c_str(), message.c_str());

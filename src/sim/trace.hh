@@ -16,6 +16,7 @@
 #define PERSIM_SIM_TRACE_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -26,7 +27,54 @@ namespace persim
 namespace trace
 {
 
-/** True when @p flag (or "all") was listed in PERSIM_TRACE. */
+/** One captured trace event (see Recorder). */
+struct Record
+{
+    Tick tick;
+    std::string flag;
+    std::string who;
+    std::string message;
+};
+
+/**
+ * In-memory capture of trace events for structured export (e.g. the
+ * Chrome-tracing exporter in src/exp).
+ *
+ * A Recorder is attached to the *current thread*: every simulation runs
+ * its event loop on one thread, so a per-thread recorder captures
+ * exactly one System's event stream even when a sweep runs many
+ * Systems concurrently. While attached, the listed flags are enabled
+ * programmatically (no PERSIM_TRACE needed) and events go into
+ * records instead of stderr; stderr still gets a copy for flags that
+ * PERSIM_TRACE enables.
+ */
+class Recorder
+{
+  public:
+    /** @param flagsCsv Comma-separated flag list, or "all". */
+    explicit Recorder(const std::string &flagsCsv);
+
+    bool wants(const char *flag) const;
+    void add(Record r) { _records.push_back(std::move(r)); }
+
+    const std::vector<Record> &records() const { return _records; }
+
+  private:
+    bool _all = false;
+    std::vector<std::string> _flags;
+    std::vector<Record> _records;
+};
+
+/** Attach @p r to the current thread (replacing any previous one). */
+void attachRecorder(Recorder *r);
+
+/** Detach the current thread's recorder (no-op when none attached). */
+void detachRecorder();
+
+/**
+ * True when @p flag (or "all") was listed in PERSIM_TRACE, or when the
+ * current thread's attached Recorder wants it.
+ */
 bool enabled(const char *flag);
 
 /** Emit one trace line: "<tick>: <flag>: <name>: <message>". */

@@ -14,8 +14,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#include "exp/stats_export.hh"
 
 #include "model/recovery.hh"
 #include "sim/logging.hh"
@@ -44,6 +47,7 @@ usage(const char *argv0)
         "  --epoch-size N    BSP hardware epoch size (default 10000)\n"
         "  --seed N          workload seed (default 1)\n"
         "  --stats           dump the full stat tree\n"
+        "  --json FILE       dump the run (result + stat tree) as JSON\n"
         "  --debug-state     dump live machine state after the run\n"
         "  --check-recovery  record the persist log and verify crash\n"
         "                    recoverability at every point\n"
@@ -104,6 +108,7 @@ main(int argc, char **argv)
     unsigned epochSize = 10000;
     std::uint64_t seed = 1;
     bool dumpStats = false;
+    std::string jsonFile;
     bool debugState = false;
     bool checkRecovery = false;
 
@@ -134,6 +139,8 @@ main(int argc, char **argv)
             seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
         else if (arg == "--stats")
             dumpStats = true;
+        else if (arg == "--json")
+            jsonFile = value("--json");
         else if (arg == "--debug-state")
             debugState = true;
         else if (arg == "--check-recovery")
@@ -219,6 +226,23 @@ main(int argc, char **argv)
             sys.debugDump(std::cout);
         if (dumpStats)
             sys.dumpStats(std::cout);
+        if (!jsonFile.empty()) {
+            exp::JsonValue doc = exp::JsonValue::object();
+            doc["workload"] = exp::JsonValue(workloadName);
+            doc["model"] = exp::JsonValue(modelName);
+            doc["barrier"] = exp::JsonValue(barrierName);
+            doc["cores"] = exp::JsonValue(cores);
+            doc["ops"] = exp::JsonValue(ops);
+            doc["seed"] = exp::JsonValue(seed);
+            doc["result"] = exp::simResultToJson(res);
+            doc["groups"] = exp::statGroupsToJson(sys.statGroups());
+            std::ofstream os(jsonFile);
+            if (!os)
+                persim::fatal("cannot write ", jsonFile);
+            doc.write(os, 2);
+            os << '\n';
+            std::printf("wrote %s\n", jsonFile.c_str());
+        }
         return res.completed && res.violations.empty() ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

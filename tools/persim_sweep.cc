@@ -1,0 +1,245 @@
+/**
+ * @file
+ * persim_sweep — parallel experiment-orchestration driver.
+ *
+ * Regenerates any paper figure's full data grid in one command:
+ *
+ *   persim_sweep --figure 11 --jobs 8 --out fig11.json
+ *   persim_sweep --figure 13 --jobs 4 --csv fig13.csv
+ *   persim_sweep --figure 11 --trace fig11.trace.json \
+ *                --trace-job hash/LB++/s1 --trace-flags Epoch,Flush
+ *
+ * The JSON output is deterministic: the same figure, ops, cores, and
+ * seed produce byte-identical files at any --jobs value, so sweep
+ * artifacts can be diffed across commits (and across serial/parallel
+ * runs). Wall-clock and scheduling info never enter --out; use
+ * --timing-out for the host-dependent numbers.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exp/figures.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
+#include "exp/trace_export.hh"
+#include "sim/logging.hh"
+
+using namespace persim;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --figure N [options]\n"
+        "  --figure N        paper figure to regenerate: 11, 12, 13, 14\n"
+        "  --jobs N          worker threads (default 1)\n"
+        "  --ops N           operations per thread (default: figure's)\n"
+        "  --cores N         simulated cores per job (default 32)\n"
+        "  --seed N          base workload seed (default 1)\n"
+        "  --seeds N         replicate the grid over N derived seeds\n"
+        "  --retries N       extra attempts per failed job (default 1)\n"
+        "  --out FILE        write the sweep JSON (default: stdout "
+        "summary only)\n"
+        "  --csv FILE        write the figure table as CSV\n"
+        "  --no-stats        omit per-job stat trees from the JSON\n"
+        "  --timing-out FILE write host wall-clock info (separate file;\n"
+        "                    never part of the deterministic output)\n"
+        "  --trace FILE      write a Chrome/Perfetto trace of one job\n"
+        "  --trace-job ID    which job to trace (default: first);\n"
+        "                    ID is \"<workload>/<config>/s<seed>\"\n"
+        "  --trace-flags F   comma-separated trace flags (default all)\n"
+        "  --list            print the job grid and exit\n"
+        "  --quiet           no per-job progress lines\n"
+        "  --help\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int figure = 0;
+    unsigned jobs = 1;
+    std::uint64_t ops = 0;
+    unsigned cores = 32;
+    std::uint64_t seed = 1;
+    unsigned numSeeds = 1;
+    unsigned retries = 1;
+    std::string outFile;
+    std::string csvFile;
+    std::string timingFile;
+    std::string traceFile;
+    std::string traceJob;
+    std::string traceFlags = "all";
+    bool includeStats = true;
+    bool listOnly = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--figure")
+            figure = std::atoi(value("--figure").c_str());
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(
+                std::strtoul(value("--jobs").c_str(), nullptr, 10));
+        else if (arg == "--ops")
+            ops = std::strtoull(value("--ops").c_str(), nullptr, 10);
+        else if (arg == "--cores")
+            cores = static_cast<unsigned>(
+                std::strtoul(value("--cores").c_str(), nullptr, 10));
+        else if (arg == "--seed")
+            seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+        else if (arg == "--seeds")
+            numSeeds = static_cast<unsigned>(
+                std::strtoul(value("--seeds").c_str(), nullptr, 10));
+        else if (arg == "--retries")
+            retries = static_cast<unsigned>(
+                std::strtoul(value("--retries").c_str(), nullptr, 10));
+        else if (arg == "--out")
+            outFile = value("--out");
+        else if (arg == "--csv")
+            csvFile = value("--csv");
+        else if (arg == "--timing-out")
+            timingFile = value("--timing-out");
+        else if (arg == "--no-stats")
+            includeStats = false;
+        else if (arg == "--trace")
+            traceFile = value("--trace");
+        else if (arg == "--trace-job")
+            traceJob = value("--trace-job");
+        else if (arg == "--trace-flags")
+            traceFlags = value("--trace-flags");
+        else if (arg == "--list")
+            listOnly = true;
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (figure == 0) {
+        std::fprintf(stderr, "--figure is required\n");
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        exp::Sweep sweep = exp::figureSweep(figure, ops, cores, seed);
+        if (numSeeds > 1) {
+            std::vector<std::uint64_t> seeds;
+            for (unsigned s = 0; s < numSeeds; ++s)
+                seeds.push_back(s);
+            sweep.crossSeeds(seeds);
+        }
+
+        if (listOnly) {
+            for (const auto &spec : sweep.jobs)
+                std::printf("%s/%s\n", sweep.name.c_str(),
+                            spec.id().c_str());
+            return 0;
+        }
+
+        exp::RunnerOptions opts;
+        opts.jobs = jobs;
+        opts.maxAttempts = 1 + retries;
+        opts.progress = !quiet;
+        if (!traceFile.empty()) {
+            opts.traceFlags = traceFlags;
+            opts.traceJobId = traceJob;
+        }
+
+        std::fprintf(stderr, "%s: %zu jobs, %u worker(s)\n",
+                     sweep.name.c_str(), sweep.jobs.size(), jobs);
+        exp::SweepRunner runner(opts);
+        std::vector<exp::JobOutcome> outcomes = runner.run(sweep);
+
+        std::size_t failed = 0;
+        for (const auto &o : outcomes)
+            failed += o.ok ? 0 : 1;
+        std::fprintf(stderr, "%s: done in %.1f s (%zu/%zu ok)\n",
+                     sweep.name.c_str(), runner.wallMs() / 1000.0,
+                     outcomes.size() - failed, outcomes.size());
+
+        exp::JsonValue doc = exp::sweepToJson(sweep, outcomes,
+                                              includeStats);
+        const exp::FigureTable table = exp::figureTable(figure, outcomes);
+        doc["table"] = exp::figureTableToJson(table);
+
+        if (!outFile.empty()) {
+            std::ofstream os(outFile);
+            if (!os)
+                fatal("cannot write ", outFile);
+            doc.write(os, 2);
+            os << '\n';
+            std::fprintf(stderr, "wrote %s\n", outFile.c_str());
+        }
+        if (!csvFile.empty()) {
+            std::ofstream os(csvFile);
+            if (!os)
+                fatal("cannot write ", csvFile);
+            exp::figureTableToCsv(os, table);
+            std::fprintf(stderr, "wrote %s\n", csvFile.c_str());
+        }
+        if (!traceFile.empty()) {
+            std::ofstream os(traceFile);
+            if (!os)
+                fatal("cannot write ", traceFile);
+            std::string traced = traceJob.empty() && !sweep.jobs.empty()
+                                     ? sweep.jobs.front().id()
+                                     : traceJob;
+            exp::writeChromeTrace(os, runner.traceRecords(),
+                                  sweep.name + "/" + traced);
+            std::fprintf(stderr, "wrote %s (%zu events)\n",
+                         traceFile.c_str(),
+                         runner.traceRecords().size());
+        }
+        if (!timingFile.empty()) {
+            exp::JsonValue timing = exp::JsonValue::object();
+            timing["sweep"] = exp::JsonValue(sweep.name);
+            timing["workers"] = exp::JsonValue(jobs);
+            timing["jobCount"] = exp::JsonValue(outcomes.size());
+            timing["wallMs"] = exp::JsonValue(runner.wallMs());
+            exp::JsonValue perJob = exp::JsonValue::array();
+            for (const auto &o : outcomes) {
+                exp::JsonValue j = exp::JsonValue::object();
+                j["id"] = exp::JsonValue(o.spec.id());
+                j["wallMs"] = exp::JsonValue(o.wallMs);
+                perJob.push(std::move(j));
+            }
+            timing["jobs"] = std::move(perJob);
+            std::ofstream os(timingFile);
+            if (!os)
+                fatal("cannot write ", timingFile);
+            timing.write(os, 2);
+            os << '\n';
+        }
+
+        exp::printFigureTable(std::cout, table);
+        return failed == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
