@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Microbenchmarks for the event-kernel hot path: schedule/run and
+ * schedule/cancel churn at 1M events, with small and oversized
+ * captures, plus the InlineFunction construct/invoke cost in
+ * isolation. These are the operations every simulated cycle pays for;
+ * see BENCH_hotpath.json for the end-to-end figure-level numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/inline_callback.hh"
+
+namespace
+{
+
+using persim::EventQueue;
+using persim::InlineCallback;
+using persim::Tick;
+
+constexpr std::uint64_t kEvents = 1'000'000;
+
+/** Schedule-and-drain with a minimal ([this]-sized) capture. */
+void
+BM_ScheduleRun_SmallCapture(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < kEvents; ++i)
+            eq.schedule(i & 1023, [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_ScheduleRun_SmallCapture)->Unit(benchmark::kMillisecond);
+
+/** Schedule-and-drain with the largest capture that still fits inline
+ * (six pointers) — the upper edge of the no-allocation path. */
+void
+BM_ScheduleRun_InlineEdgeCapture(benchmark::State &state)
+{
+    struct Fat
+    {
+        std::uint64_t a, b, c, d, e;
+        std::uint64_t *sink;
+    };
+    static_assert(sizeof(Fat) == InlineCallback::kInlineBytes);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < kEvents; ++i) {
+            Fat fat{i, i + 1, i + 2, i + 3, i + 4, &sink};
+            eq.schedule(i & 1023, [fat] { *fat.sink += fat.a; });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_ScheduleRun_InlineEdgeCapture)->Unit(benchmark::kMillisecond);
+
+/** Oversized capture: exercises the CallbackArena free-list fallback
+ * (continuation-over-continuation chains take this path). */
+void
+BM_ScheduleRun_ArenaCapture(benchmark::State &state)
+{
+    struct Huge
+    {
+        std::uint64_t pad[9];
+        std::uint64_t *sink;
+    };
+    static_assert(sizeof(Huge) > InlineCallback::kInlineBytes);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < kEvents; ++i) {
+            Huge h{{i}, &sink};
+            eq.schedule(i & 1023, [h] { *h.sink += h.pad[0]; });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_ScheduleRun_ArenaCapture)->Unit(benchmark::kMillisecond);
+
+/** Schedule + cancel churn: every second event is cancelled before the
+ * drain. Exercises the generation-bit cancel and node recycling. */
+void
+BM_ScheduleCancelRun(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < kEvents; ++i) {
+            auto id = eq.schedule(i & 1023, [&sink] { ++sink; });
+            if (i & 1)
+                eq.cancel(id);
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_ScheduleCancelRun)->Unit(benchmark::kMillisecond);
+
+/** Steady-state self-rescheduling chain (the shape simulation objects
+ * actually produce: one event in flight per object). */
+void
+BM_SelfRescheduleChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t count = 0;
+        std::function<void()> chain = [&] {
+            if (++count < kEvents)
+                eq.scheduleIn(1, chain);
+        };
+        eq.scheduleIn(1, chain);
+        eq.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_SelfRescheduleChain)->Unit(benchmark::kMillisecond);
+
+/** InlineFunction construct+invoke in isolation (no queue). */
+void
+BM_InlineCallbackInvoke(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        InlineCallback cb([&sink] { ++sink; });
+        cb();
+        benchmark::DoNotOptimize(cb);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_InlineCallbackInvoke);
+
+/** std::function construct+invoke for comparison. */
+void
+BM_StdFunctionInvoke(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        std::function<void()> cb([&sink] { ++sink; });
+        cb();
+        benchmark::DoNotOptimize(cb);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_StdFunctionInvoke);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_hotpath.json: the simulation-kernel hot-path benchmark.
+#
+# Times the Figure 14 LB column (9 workloads x LB config, 32 cores,
+# 20000 ops — the cell the ISSUE's hot-path work targets) through
+# persim_sweep, 3 repetitions, reporting the minimum wall-clock. Also
+# verifies the output is byte-identical across repetitions (the
+# determinism contract the kernel changes must preserve).
+#
+# To record a before/after pair, point BASELINE_BUILD at a build of the
+# pre-change tree (its persim_sweep must support --only); the script
+# then times both binaries on the same host back to back and computes
+# the speedup. Without BASELINE_BUILD only the current build is timed.
+#
+# Usage: [BASELINE_BUILD=path] scripts/bench_hotpath.sh [build-dir] [out-file]
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-BENCH_hotpath.json}
+reps=${REPS:-3}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_cell() { # run_cell <sweep-binary> <tag>
+    local sweep=$1 tag=$2 i
+    [ -x "$sweep" ] || { echo "error: $sweep not built" >&2; exit 1; }
+    for i in $(seq 1 "$reps"); do
+        echo "[$tag] fig14 LB column, rep $i/$reps ..." >&2
+        "$sweep" --figure 14 --only /LB/ --jobs 1 --quiet --no-stats \
+            --out "$tmp/$tag.$i.json" \
+            --timing-out "$tmp/$tag.$i.timing.json" >/dev/null
+        cmp -s "$tmp/$tag.1.json" "$tmp/$tag.$i.json" \
+            || { echo "error: rep $i output differs (nondeterminism)" >&2
+                 exit 1; }
+    done
+}
+
+run_cell "$build/tools/persim_sweep" after
+if [ -n "${BASELINE_BUILD:-}" ]; then
+    run_cell "$BASELINE_BUILD/tools/persim_sweep" before
+fi
+
+python3 - "$tmp" "$out" "$reps" <<'EOF'
+import json, os, sys
+
+tmp, out, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+def min_wall(tag):
+    walls = []
+    for i in range(1, reps + 1):
+        path = os.path.join(tmp, f"{tag}.{i}.timing.json")
+        if not os.path.exists(path):
+            return None
+        walls.append(json.load(open(path))["wallMs"])
+    return min(walls)
+
+after = min_wall("after")
+before = min_wall("before")
+doc = {
+    "benchmark": "persim_sweep --figure 14 --only /LB/ "
+                 "(9 workloads x LB, 32 cores, 20000 ops, --jobs 1)",
+    "reps": reps,
+    "metric": "min wall-clock over reps",
+    "hostCpus": os.cpu_count(),
+    "wallMs": round(after, 1),
+}
+if before is not None:
+    doc["baselineWallMs"] = round(before, 1)
+    doc["speedup"] = round(before / after, 3)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF

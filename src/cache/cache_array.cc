@@ -25,24 +25,7 @@ CacheArray::CacheArray(std::string name, const CacheGeometry &geom,
     simAssert(isPowerOfTwo(_sets), _name, ": sets (", _sets,
               ") not a power of two");
     _lines.resize(static_cast<std::size_t>(_sets) * geom.ways);
-}
-
-CacheLine *
-CacheArray::find(Addr addr)
-{
-    addr = lineAlign(addr);
-    CacheLine *base = setBase(setIndex(addr));
-    for (unsigned w = 0; w < _geom.ways; ++w) {
-        if (base[w].valid() && base[w].addr == addr)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::find(Addr addr) const
-{
-    return const_cast<CacheArray *>(this)->find(addr);
+    _tags.resize(_lines.size(), kNoLine);
 }
 
 void
@@ -103,6 +86,7 @@ CacheArray::fill(CacheLine &line, Addr addr, CoherenceState state)
                   static_cast<unsigned>((&line - _lines.data()) /
                                         _geom.ways),
               _name, ": fill into the wrong set");
+    _tags[static_cast<std::size_t>(&line - _lines.data())] = addr;
     line.addr = addr;
     line.state = state;
     line.dirty = false;
@@ -111,15 +95,6 @@ CacheArray::fill(CacheLine &line, Addr addr, CoherenceState state)
     line.sharers = 0;
     touch(line);
     return line;
-}
-
-void
-CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
-{
-    for (CacheLine &line : _lines) {
-        if (line.valid())
-            fn(line);
-    }
 }
 
 } // namespace persim::cache

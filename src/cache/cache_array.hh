@@ -7,7 +7,6 @@
 #define PERSIM_CACHE_CACHE_ARRAY_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -61,12 +60,45 @@ class CacheArray
     CacheArray(std::string name, const CacheGeometry &geom,
                unsigned setShift = 0);
 
-    /** Find the line holding @p addr, or nullptr. Does not touch LRU. */
-    CacheLine *find(Addr addr);
-    const CacheLine *find(Addr addr) const;
+    /** Find the line holding @p addr, or nullptr. Does not touch LRU.
+     *
+     * Hot path: the scan runs over the compact per-set tag array (8
+     * bytes per way, one or two host cache lines per set) rather than
+     * striding through the full CacheLine records. */
+    CacheLine *
+    find(Addr addr)
+    {
+        addr = lineAlign(addr);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(addr)) * _geom.ways;
+        const Addr *tags = &_tags[base];
+        for (unsigned w = 0; w < _geom.ways; ++w) {
+            if (tags[w] == addr)
+                return &_lines[base + w];
+        }
+        return nullptr;
+    }
+
+    const CacheLine *
+    find(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(addr);
+    }
 
     /** Mark @p line most recently used. */
     void touch(CacheLine &line);
+
+    /**
+     * Invalidate @p line (which must belong to this array), keeping the
+     * tag array in sync. All valid→invalid transitions of array-resident
+     * lines must go through here, not CacheLine::invalidate().
+     */
+    void
+    invalidate(CacheLine &line)
+    {
+        _tags[static_cast<std::size_t>(&line - _lines.data())] = kNoLine;
+        line.invalidate();
+    }
 
     /**
      * Pick a victim way for filling @p addr.
@@ -92,7 +124,15 @@ class CacheArray
     unsigned ways() const { return _geom.ways; }
 
     /** Iterate over every valid line (diagnostics and invariant checks). */
-    void forEachValid(const std::function<void(CacheLine &)> &fn);
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (CacheLine &line : _lines) {
+            if (line.valid())
+                fn(line);
+        }
+    }
 
     /** Index of the set @p addr maps to (exposed for tests). */
     unsigned setIndex(Addr addr) const
@@ -102,6 +142,9 @@ class CacheArray
     }
 
   private:
+    /** Tag-array sentinel for an invalid way (never a line-aligned addr). */
+    static constexpr Addr kNoLine = ~static_cast<Addr>(0);
+
     CacheLine *setBase(unsigned set) { return &_lines[set * _geom.ways]; }
 
     std::string _name;
@@ -109,6 +152,9 @@ class CacheArray
     unsigned _setShift;
     unsigned _sets;
     std::vector<CacheLine> _lines;
+    /** Parallel to _lines: the line address of each valid way, kNoLine
+     * otherwise. find() scans this instead of the metadata records. */
+    std::vector<Addr> _tags;
     std::uint64_t _lruClock = 0;
     Rng _rng{0xC0FFEE};
 };

@@ -85,7 +85,9 @@ struct CacheLine
         epochId = epoch;
     }
 
-    /** Reset to Invalid, dropping all metadata (pin included). */
+    /** Reset to Invalid, dropping all metadata (pin included). Lines
+     * resident in a CacheArray must go through CacheArray::invalidate
+     * instead so the array's tag scan stays in sync. */
     void
     invalidate()
     {

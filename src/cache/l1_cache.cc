@@ -38,7 +38,7 @@ L1Cache::L1Cache(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
 
 void
 L1Cache::access(Addr addr, bool isWrite,
-                std::function<void()> onComplete)
+                InlineCallback onComplete)
 {
     addr = lineAlign(addr);
     if (isWrite)
@@ -54,7 +54,7 @@ L1Cache::access(Addr addr, bool isWrite,
 
 void
 L1Cache::accessStage2(Addr addr, bool isWrite,
-                      std::function<void()> onComplete)
+                      InlineCallback onComplete)
 {
     if (_mshrs.has(addr)) {
         ++_misses;
@@ -125,7 +125,7 @@ L1Cache::sendMiss(Addr addr, bool isWrite, PendingAccess acc)
 }
 
 void
-L1Cache::performStore(Addr addr, std::function<void()> onComplete)
+L1Cache::performStore(Addr addr, InlineCallback onComplete)
 {
     CacheLine *line = _array.find(addr);
     simAssert(line, name(), ": performStore on absent line");
@@ -298,7 +298,7 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
     switch (kind) {
       case WritebackKind::Eviction:
       case WritebackKind::DowngradeToInvalid:
-        line.invalidate();
+        _array.invalidate(line);
         break;
       case WritebackKind::DowngradeToShared:
         line.state = CoherenceState::Shared;
@@ -318,10 +318,11 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
 
 void
 L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
-                         std::function<void()> replyAtBank)
+                         InlineCallback replyAtBank)
 {
-    scheduleIn(_cfg.accessLatency, [this, addr, forWrite, bankNode,
-                                    replyAtBank = std::move(replyAtBank)] {
+    scheduleIn(_cfg.accessLatency,
+               [this, addr, forWrite, bankNode,
+                replyAtBank = std::move(replyAtBank)]() mutable {
         CacheLine *line = _array.find(addr);
         bool hadDirty = false;
         tracef("WB", *this, "downgrade 0x", std::hex, addr, std::dec,
@@ -344,7 +345,7 @@ L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
                                  forWrite ? WritebackKind::DowngradeToInvalid
                                           : WritebackKind::DowngradeToShared);
             if (forWrite) {
-                line->invalidate();
+                _array.invalidate(*line);
             } else {
                 line->state = CoherenceState::Shared;
                 line->dirty = false;
@@ -352,25 +353,26 @@ L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
             }
         }
         if (hadDirty)
-            _ni.sendData(bankNode, replyAtBank);
+            _ni.sendData(bankNode, std::move(replyAtBank));
         else
-            _ni.sendControl(bankNode, replyAtBank);
+            _ni.sendControl(bankNode, std::move(replyAtBank));
     });
 }
 
 void
 L1Cache::handleInvalidate(Addr addr, unsigned bankNode,
-                          std::function<void()> ackAtBank)
+                          InlineCallback ackAtBank)
 {
-    scheduleIn(1, [this, addr, bankNode, ackAtBank = std::move(ackAtBank)] {
+    scheduleIn(1, [this, addr, bankNode,
+                   ackAtBank = std::move(ackAtBank)]() mutable {
         CacheLine *line = _array.find(addr);
         if (line) {
             simAssert(line->state == CoherenceState::Shared, name(),
                       ": invalidate hit a non-Shared line");
             ++_invalidations;
-            line->invalidate();
+            _array.invalidate(*line);
         }
-        _ni.sendControl(bankNode, ackAtBank);
+        _ni.sendControl(bankNode, std::move(ackAtBank));
     });
 }
 
@@ -397,7 +399,7 @@ L1Cache::flushLines(const std::vector<Addr> &lines, bool invalidating,
 
 void
 L1Cache::issueNvmWrite(Addr addr, CoreId core, EpochId epoch, bool isLog,
-                       std::function<void()> onAckHere)
+                       InlineCallback onAckHere)
 {
     nvm::MemoryController &mc = _pc.mcFor(addr);
     nvm::MemoryController *mcPtr = &mc;

@@ -7,12 +7,12 @@
 #define PERSIM_CACHE_L1_CACHE_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "cache/cache_array.hh"
 #include "cache/mshr.hh"
 #include "noc/network_interface.hh"
+#include "sim/inline_callback.hh"
 #include "persist/flush_engine.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -74,7 +74,7 @@ class L1Cache : public SimObject
      *        epoch-tagged at completion time by the persist controller.
      */
     void access(Addr addr, bool isWrite,
-                std::function<void()> onComplete);
+                InlineCallback onComplete);
 
     /**
      * Best-effort exclusive (RFO) prefetch: acquire ownership of
@@ -94,11 +94,11 @@ class L1Cache : public SimObject
      * the reply whose delivery runs @p replyAtBank.
      */
     void handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
-                         std::function<void()> replyAtBank);
+                         InlineCallback replyAtBank);
 
     /** Invalidate a Shared copy; ack delivery runs @p ackAtBank. */
     void handleInvalidate(Addr addr, unsigned bankNode,
-                          std::function<void()> ackAtBank);
+                          InlineCallback ackAtBank);
 
     /**
      * Fill/upgrade grant from the home bank.
@@ -133,7 +133,7 @@ class L1Cache : public SimObject
      * @param onAckHere Runs at this L1 when the PersistAck arrives.
      */
     void issueNvmWrite(Addr addr, CoreId core, EpochId epoch, bool isLog,
-                       std::function<void()> onAckHere);
+                       InlineCallback onAckHere);
 
     /** This L1's flush-engine bookkeeping. */
     persist::FlushEngine &flushEngine() { return _flushEngine; }
@@ -146,9 +146,9 @@ class L1Cache : public SimObject
 
   private:
     void accessStage2(Addr addr, bool isWrite,
-                      std::function<void()> onComplete);
+                      InlineCallback onComplete);
     /** Try to perform a store on a resident exclusive line. */
-    void performStore(Addr addr, std::function<void()> onComplete);
+    void performStore(Addr addr, InlineCallback onComplete);
     void sendMiss(Addr addr, bool isWrite, PendingAccess acc);
     void replayNext(Addr addr, std::vector<PendingAccess> queue,
                     std::size_t idx);
@@ -169,7 +169,7 @@ class L1Cache : public SimObject
     persist::FlushEngine _flushEngine;
 
     /** Accesses deferred because the MSHR file was full. */
-    std::deque<std::function<void()>> _deferred;
+    std::deque<InlineCallback> _deferred;
 
     Scalar _loads;
     Scalar _stores;

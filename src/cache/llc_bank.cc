@@ -307,7 +307,7 @@ LlcBank::unpin(Addr addr)
 // ---------------------------------------------------------------------
 
 void
-LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
+LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
 {
     CacheLine *line = _array.find(vaddr);
     simAssert(line && line->pinned, name(), ": eviction lost its victim");
@@ -319,12 +319,14 @@ LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
         ++_recalls;
         L1Cache *ownerL1 = &_pc.l1(line->owner);
         const unsigned myNode = _ni.nodeId();
-        _ni.sendControl(ownerL1->nodeId(), [this, vaddr, ownerL1, myNode,
-                                            cont = std::move(cont)] {
-            ownerL1->handleDowngrade(vaddr, /*forWrite=*/true, myNode,
-                                     [this, vaddr, cont] {
-                                         evictVictim(vaddr, cont);
-                                     });
+        _ni.sendControl(ownerL1->nodeId(),
+                        [this, vaddr, ownerL1, myNode,
+                         cont = std::move(cont)]() mutable {
+            ownerL1->handleDowngrade(
+                vaddr, /*forWrite=*/true, myNode,
+                [this, vaddr, cont = std::move(cont)]() mutable {
+                    evictVictim(vaddr, std::move(cont));
+                });
         });
         return;
     }
@@ -333,7 +335,7 @@ LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
         auto remaining = std::make_shared<unsigned>(std::popcount(mask));
         const unsigned myNode = _ni.nodeId();
         auto shared_cont =
-            std::make_shared<std::function<void()>>(std::move(cont));
+            std::make_shared<InlineCallback>(std::move(cont));
         for (unsigned c = 0; c < 64; ++c) {
             if (!(mask & (std::uint64_t{1} << c)))
                 continue;
@@ -347,7 +349,8 @@ LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
                             CacheLine *l = _array.find(vaddr);
                             simAssert(l, name(), ": victim vanished");
                             l->sharers = 0;
-                            evictVictim(vaddr, *shared_cont);
+                            evictVictim(vaddr,
+                                        std::move(*shared_cont));
                         }
                     });
             });
@@ -357,10 +360,11 @@ LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
     if (line->tagged()) {
         // Replacement conflict: epochs up to the victim's must persist
         // before this line may leave the volatile domain.
-        _pc.beforeLlcEviction(_bankIdx, *line,
-                              [this, vaddr, cont = std::move(cont)] {
-                                  evictVictim(vaddr, cont);
-                              });
+        _pc.beforeLlcEviction(
+            _bankIdx, *line,
+            [this, vaddr, cont = std::move(cont)]() mutable {
+                evictVictim(vaddr, std::move(cont));
+            });
         return;
     }
     if (line->dirty) {
@@ -376,7 +380,7 @@ LlcBank::evictVictim(Addr vaddr, std::function<void()> cont)
         });
     }
     tracef("Evict", *this, "drop 0x", std::hex, vaddr, std::dec);
-    line->invalidate();
+    _array.invalidate(*line);
     // Wake requests that blocked on the pinned victim.
     auto it = _pinWaiters.find(vaddr);
     if (it != _pinWaiters.end()) {
@@ -468,7 +472,7 @@ LlcBank::onFlushLineAck(CoreId core, EpochId epoch, Addr addr)
         if (_pc.config().invalidatingFlush && !line->pinned &&
             line->owner == kNoCore && line->sharers == 0) {
             // clflush semantics: the flushed line leaves the hierarchy.
-            line->invalidate();
+            _array.invalidate(*line);
         }
     }
     _pc.arbiter(core).onLinePersisted(epoch);

@@ -7,13 +7,13 @@
 #define PERSIM_CACHE_LLC_BANK_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
 #include "noc/network_interface.hh"
+#include "sim/inline_callback.hh"
 #include "persist/flush_engine.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -128,7 +128,7 @@ class LlcBank : public SimObject
     void finish(Txn txn);
 
     /** Evict the (pinned) line at @p vaddr, honouring persist order. */
-    void evictVictim(Addr vaddr, std::function<void()> cont);
+    void evictVictim(Addr vaddr, InlineCallback cont);
 
     /** Unpin addr's line if present, and wake pin-waiters. */
     void unpin(Addr addr);
@@ -149,7 +149,7 @@ class LlcBank : public SimObject
     std::unordered_map<Addr, std::deque<Txn>> _busy;
 
     /** Waiters blocked on a pinned line (re-run when unpinned). */
-    std::unordered_map<Addr, std::vector<std::function<void()>>>
+    std::unordered_map<Addr, std::vector<InlineCallback>>
         _pinWaiters;
 
     /** Outstanding flush-line acks per (core, epoch). */

@@ -7,10 +7,10 @@
 #define PERSIM_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/types.hh"
 
 namespace persim::cache
@@ -21,7 +21,7 @@ struct PendingAccess
 {
     bool isWrite = false;
     CoreId core = kNoCore;
-    std::function<void()> onComplete;
+    InlineCallback onComplete;
 };
 
 /**

@@ -6,13 +6,13 @@
 #ifndef PERSIM_CPU_CORE_HH
 #define PERSIM_CPU_CORE_HH
 
-#include <functional>
 #include <string>
 #include <unordered_map>
 
 #include "cpu/mem_op.hh"
 #include "cpu/workload_iface.hh"
 #include "cpu/write_buffer.hh"
+#include "sim/inline_callback.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -88,7 +88,7 @@ class Core : public SimObject
     Tick doneTick() const { return _doneTick; }
 
     /** Callback invoked once when the core becomes done. */
-    void setOnDone(std::function<void()> cb) { _onDone = std::move(cb); }
+    void setOnDone(InlineCallback cb) { _onDone = std::move(cb); }
 
     Workload *workload() { return _workload; }
     StatGroup &stats() { return _stats; }
@@ -123,7 +123,7 @@ class Core : public SimObject
     std::unordered_map<Addr, unsigned> _inflightLines;
     Tick _doneTick = kTickNever;
     std::uint64_t _storesSinceBarrier = 0;
-    std::function<void()> _onDone;
+    InlineCallback _onDone;
 
     StatGroup _stats;
     Scalar _ops;

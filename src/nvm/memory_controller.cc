@@ -31,14 +31,15 @@ MemoryController::handleWrite(WriteReq req)
     if (durable > _lastDurable)
         _lastDurable = durable;
 
-    scheduleIn(durable - now, [this, req = std::move(req), durable] {
+    scheduleIn(durable - now,
+               [this, req = std::move(req), durable]() mutable {
         if (_observer) {
             _observer->onPersist(durable, req.addr, req.core, req.epoch,
                                  req.isLog);
         }
         _persistAcks.inc();
         if (req.onPersist)
-            _ni.sendControl(req.replyTo, req.onPersist);
+            _ni.sendControl(req.replyTo, std::move(req.onPersist));
     });
 }
 
@@ -48,8 +49,8 @@ MemoryController::handleRead(ReadReq req)
     const Tick now = curTick();
     const Tick ready = _nvram.read(now, req.addr);
     simAssert(static_cast<bool>(req.onData), "read without onData");
-    scheduleIn(ready - now, [this, req = std::move(req)] {
-        _ni.sendData(req.replyTo, req.onData);
+    scheduleIn(ready - now, [this, req = std::move(req)]() mutable {
+        _ni.sendData(req.replyTo, std::move(req.onData));
     });
 }
 

@@ -6,10 +6,10 @@
 #ifndef PERSIM_NVM_MEMORY_CONTROLLER_HH
 #define PERSIM_NVM_MEMORY_CONTROLLER_HH
 
-#include <functional>
 #include <string>
 
 #include "noc/network_interface.hh"
+#include "sim/inline_callback.hh"
 #include "nvm/nvram.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -30,7 +30,7 @@ struct WriteReq
     /** Requesting node; PersistAck travels back to it. */
     unsigned replyTo = 0;
     /** Runs at the requester when the PersistAck arrives. */
-    std::function<void()> onPersist;
+    InlineCallback onPersist;
 };
 
 /** A line read request (LLC miss fill). */
@@ -39,7 +39,7 @@ struct ReadReq
     Addr addr = 0;
     unsigned replyTo = 0;
     /** Runs at the requester when the data arrives. */
-    std::function<void()> onData;
+    InlineCallback onData;
 };
 
 /**

@@ -7,10 +7,10 @@
 #define PERSIM_PERSIST_EPOCH_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "persist/idt_registers.hh"
+#include "sim/inline_callback.hh"
 #include "sim/types.hh"
 
 namespace persim::persist
@@ -100,17 +100,47 @@ struct Epoch
     IdtRegs informRegs;
 
     /** Continuations to run when the epoch is Persisted. */
-    std::vector<std::function<void()>> persistWaiters;
+    std::vector<InlineCallback> persistWaiters;
 
     /** Continuations to run when the epoch closes (deadlock-prone LB
      * mode waits here for ongoing source epochs to end naturally). */
-    std::vector<std::function<void()>> closeWaiters;
+    std::vector<InlineCallback> closeWaiters;
 
     /** Remote sources already asked (once) to flush (IDT pull). */
     std::vector<IdtEntry> pullsSent;
 
     /** Total stores executed in this epoch (stats / BSP sizing). */
     std::uint64_t storeCount = 0;
+
+    /**
+     * Reinitialize this record for a fresh epoch @p newId.
+     *
+     * Epoch records live in the EpochTable's fixed ring and are reused
+     * when their slot comes around again, so the vectors keep their
+     * capacity across epochs — the steady state allocates nothing.
+     */
+    void
+    reset(EpochId newId)
+    {
+        id = newId;
+        state = EpochState::Ongoing;
+        closed = false;
+        linesLive = 0;
+        flushesInFlight = 0;
+        logWritesPending = 0;
+        checkpointPending = 0;
+        bankAcksPending = 0;
+        flushCause = FlushCause::None;
+        bankPhaseStarted = false;
+        usedHandshake = false;
+        conflicted = false;
+        depRegs.clear();
+        informRegs.clear();
+        persistWaiters.clear();
+        closeWaiters.clear();
+        pullsSent.clear();
+        storeCount = 0;
+    }
 
     bool ongoing() const { return state == EpochState::Ongoing; }
     bool persisted() const { return state == EpochState::Persisted; }

@@ -78,7 +78,7 @@ EpochArbiter::notePerformedStore()
 }
 
 void
-EpochArbiter::barrier(std::function<void()> cont)
+EpochArbiter::barrier(InlineCallback cont)
 {
     if (!_table.canOpen()) {
         ++statBarrierStalls;
@@ -105,7 +105,7 @@ EpochArbiter::barrier(std::function<void()> cont)
 }
 
 void
-EpochArbiter::drain(std::function<void()> cont)
+EpochArbiter::drain(InlineCallback cont)
 {
     Epoch &cur = _table.current();
     if (cur.storeCount > 0) {
@@ -149,7 +149,7 @@ EpochArbiter::fullyPersisted()
 
 void
 EpochArbiter::prepareClosedEpoch(EpochId epoch, FlushCause cause,
-                                 std::function<void(EpochId)> cont)
+                                 InlineFunction<void(EpochId)> cont)
 {
     Epoch *e = _table.find(epoch);
     if (!e || e->closed) {
@@ -164,12 +164,13 @@ EpochArbiter::prepareClosedEpoch(EpochId epoch, FlushCause cause,
         // Deadlock-prone: wait for the programmer's barrier to close
         // the epoch naturally (§3.3 discussion).
         e->closeWaiters.push_back(
-            [cont = std::move(cont), epoch] { cont(epoch); });
+            [cont = std::move(cont), epoch]() mutable { cont(epoch); });
     }
 }
 
 void
-EpochArbiter::splitNow(FlushCause cause, std::function<void(EpochId)> cont)
+EpochArbiter::splitNow(FlushCause cause,
+                       InlineFunction<void(EpochId)> cont)
 {
     if (!_table.canOpen()) {
         // Waiter first; see barrier() for the ordering rationale.
@@ -205,7 +206,7 @@ EpochArbiter::demandHeadroom(FlushCause cause)
 
 void
 EpochArbiter::ensureFlushedUpTo(EpochId target, FlushCause cause,
-                                std::function<void()> onPersisted)
+                                InlineCallback onPersisted)
 {
     Epoch *e = _table.find(target);
     if (!e || e->persisted()) {
@@ -218,13 +219,12 @@ EpochArbiter::ensureFlushedUpTo(EpochId target, FlushCause cause,
     const bool conflictCause = cause == FlushCause::IntraThread ||
                                cause == FlushCause::InterThread ||
                                cause == FlushCause::Replacement;
-    for (const auto &up : _table.window()) {
-        if (up->id > target)
-            break;
-        if (up->flushCause == FlushCause::None)
-            up->flushCause = cause;
+    for (EpochId i = _table.headId(); i <= target; ++i) {
+        Epoch &up = _table.at(i);
+        if (up.flushCause == FlushCause::None)
+            up.flushCause = cause;
         if (conflictCause)
-            up->conflicted = true;
+            up.conflicted = true;
     }
     if (!_flushDemanded || target > _flushTarget) {
         _flushTarget = target;
@@ -264,8 +264,8 @@ EpochArbiter::recordInform(EpochId srcEpoch, const IdtEntry &dependent)
 void
 EpochArbiter::onSourcePersisted(const IdtEntry &src)
 {
-    for (const auto &e : _table.window())
-        e->depRegs.remove(src);
+    for (EpochId i = _table.headId(); i < _table.nextId(); ++i)
+        _table.at(i).depRegs.remove(src);
     tryAdvance();
 }
 
@@ -537,7 +537,8 @@ EpochArbiter::declarePersisted(Epoch &e)
                               [dep, src] { dep->onSourcePersisted(src); });
     }
 
-    // NOTE: `e` may be destroyed by the retire below; use only copies.
+    // NOTE: the retire below (or a serviced waiter opening a new
+    // epoch) may recycle e's ring slot; use only the copies above.
     _table.retirePersisted();
     serviceRetireWaiters();
     for (auto &w : waiters)
@@ -565,9 +566,10 @@ EpochArbiter::debugDump(std::ostream &os)
     os << name() << ": flushDemanded=" << _flushDemanded
        << " target=" << _flushTarget
        << " retireWaiters=" << _retireWaiters.size() << " window:";
-    for (const auto &e : _table.window()) {
+    for (EpochId i = _table.headId(); i < _table.nextId(); ++i) {
+        const Epoch &e = _table.at(i);
         const char *st = "?";
-        switch (e->state) {
+        switch (e.state) {
           case EpochState::Ongoing:
             st = "ongoing";
             break;
@@ -581,14 +583,14 @@ EpochArbiter::debugDump(std::ostream &os)
             st = "persisted";
             break;
         }
-        os << " [" << e->id << " " << st << (e->closed ? "/closed" : "")
-           << " lines=" << e->linesLive << " fif=" << e->flushesInFlight
-           << " acks=" << e->bankAcksPending
-           << " logs=" << e->logWritesPending
-           << " ckpt=" << e->checkpointPending
-           << " deps=" << e->depRegs.size()
-           << " waiters=" << e->persistWaiters.size()
-           << " closeW=" << e->closeWaiters.size() << "]";
+        os << " [" << e.id << " " << st << (e.closed ? "/closed" : "")
+           << " lines=" << e.linesLive << " fif=" << e.flushesInFlight
+           << " acks=" << e.bankAcksPending
+           << " logs=" << e.logWritesPending
+           << " ckpt=" << e.checkpointPending
+           << " deps=" << e.depRegs.size()
+           << " waiters=" << e.persistWaiters.size()
+           << " closeW=" << e.closeWaiters.size() << "]";
     }
     os << "\n";
 }

@@ -6,7 +6,6 @@
 #ifndef PERSIM_PERSIST_EPOCH_ARBITER_HH
 #define PERSIM_PERSIST_EPOCH_ARBITER_HH
 
-#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "persist/epoch.hh"
 #include "persist/epoch_table.hh"
 #include "persist/undo_log.hh"
+#include "sim/inline_callback.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -71,10 +71,10 @@ class EpochArbiter : public SimObject
      * with blockingBarrier (EP), @p cont runs only once the closed
      * epoch has persisted.
      */
-    void barrier(std::function<void()> cont);
+    void barrier(InlineCallback cont);
 
     /** End-of-run: close the current epoch and flush everything. */
-    void drain(std::function<void()> cont);
+    void drain(InlineCallback cont);
 
     // ------------------------------------------------------------------
     // Conflict-resolution interface (called via PersistController)
@@ -102,7 +102,7 @@ class EpochArbiter : public SimObject
      *              attribution when the window is full).
      */
     void prepareClosedEpoch(EpochId epoch, FlushCause cause,
-                            std::function<void(EpochId)> cont);
+                            InlineFunction<void(EpochId)> cont);
 
     /** Issue one undo-log line write on behalf of @p epoch (§5.2.1). */
     void issueLogWrite(EpochId epoch);
@@ -116,7 +116,7 @@ class EpochArbiter : public SimObject
      * @param onPersisted Optional continuation once @p target persists.
      */
     void ensureFlushedUpTo(EpochId target, FlushCause cause,
-                           std::function<void()> onPersisted);
+                           InlineCallback onPersisted);
 
     /**
      * IDT: record that @p depEpoch (of this core) must persist after
@@ -179,7 +179,7 @@ class EpochArbiter : public SimObject
     void beginBankPhase(Epoch &e);
     void maybeFinishFlush(Epoch &e);
     void declarePersisted(Epoch &e);
-    void splitNow(FlushCause cause, std::function<void(EpochId)> cont);
+    void splitNow(FlushCause cause, InlineFunction<void(EpochId)> cont);
     void issueCheckpoint(Epoch &e);
     /** Demand a flush of the window head to open a slot. */
     void demandHeadroom(FlushCause cause);
@@ -198,7 +198,7 @@ class EpochArbiter : public SimObject
     bool _flushDemanded = false;
 
     /** Continuations waiting for a window slot (barrier/split stalls). */
-    std::vector<std::function<void()>> _retireWaiters;
+    std::vector<InlineCallback> _retireWaiters;
 
     /** Per-core NVRAM log/checkpoint regions. */
     UndoLog _undoLog;

@@ -7,36 +7,30 @@ namespace persim::persist
 
 EpochTable::EpochTable(CoreId core, unsigned maxInflight,
                        unsigned idtCapacity)
-    : _core(core), _maxInflight(maxInflight), _idtCapacity(idtCapacity)
+    : _core(core), _maxInflight(maxInflight)
 {
     simAssert(maxInflight >= 2,
               "epoch window must hold at least 2 epochs");
+    // Ring capacity: maxInflight rounded up to a power of two, so the
+    // slot of epoch id is just id & mask.
+    EpochId cap = 1;
+    while (cap < maxInflight)
+        cap <<= 1;
+    _mask = cap - 1;
+    _ring.reserve(cap);
+    for (EpochId i = 0; i < cap; ++i)
+        _ring.emplace_back(i, idtCapacity);
     // Epoch 0 opens immediately; a core always has a current epoch.
-    _window.push_back(std::make_unique<Epoch>(_nextId++, _idtCapacity));
+    // Slot 0 was just constructed in exactly the fresh-epoch state.
+    _nextId = 1;
 }
 
-Epoch *
-EpochTable::find(EpochId id)
+Epoch &
+EpochTable::at(EpochId id)
 {
-    for (auto &e : _window) {
-        if (e->id == id)
-            return e.get();
-    }
-    return nullptr;
-}
-
-bool
-EpochTable::isPersisted(EpochId id) const
-{
-    // Anything older than the window's front has retired as Persisted.
-    if (_window.empty() || id < _window.front()->id)
-        return true;
-    for (const auto &e : _window) {
-        if (e->id == id)
-            return e->persisted();
-    }
-    // Not retired and not in the window: an epoch id from the future.
-    return false;
+    simAssert(id >= _headId && id < _nextId, "core ", _core, ": epoch ",
+              id, " not in window [", _headId, ", ", _nextId, ")");
+    return slot(id);
 }
 
 Epoch &
@@ -44,10 +38,11 @@ EpochTable::closeCurrentAndOpen()
 {
     simAssert(canOpen(), "core ", _core,
               ": epoch window full; caller must stall");
-    Epoch &prefix = *_window.back();
+    Epoch &prefix = current();
     simAssert(!prefix.closed, "closing an already-closed epoch");
     prefix.closed = true;
-    _window.push_back(std::make_unique<Epoch>(_nextId++, _idtCapacity));
+    const EpochId id = _nextId++;
+    slot(id).reset(id);
     return prefix;
 }
 
@@ -55,9 +50,9 @@ unsigned
 EpochTable::retirePersisted()
 {
     unsigned retired = 0;
-    // The current Ongoing epoch (back) never retires.
-    while (_window.size() > 1 && _window.front()->persisted()) {
-        _window.pop_front();
+    // The current Ongoing epoch (the newest) never retires.
+    while (_nextId - _headId > 1 && slot(_headId).persisted()) {
+        ++_headId;
         ++retired;
     }
     return retired;
@@ -66,13 +61,11 @@ EpochTable::retirePersisted()
 Epoch *
 EpochTable::predecessorOf(EpochId id)
 {
-    Epoch *prev = nullptr;
-    for (auto &e : _window) {
-        if (e->id == id)
-            return prev;
-        prev = e.get();
-    }
-    panic("core ", _core, ": predecessorOf(", id, ") not in window");
+    if (id < _headId || id >= _nextId)
+        panic("core ", _core, ": predecessorOf(", id, ") not in window");
+    if (id == _headId)
+        return nullptr;
+    return &slot(id - 1);
 }
 
 } // namespace persim::persist

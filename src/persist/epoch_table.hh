@@ -6,8 +6,7 @@
 #ifndef PERSIM_PERSIST_EPOCH_TABLE_HH
 #define PERSIM_PERSIST_EPOCH_TABLE_HH
 
-#include <deque>
-#include <memory>
+#include <vector>
 
 #include "persist/epoch.hh"
 #include "sim/types.hh"
@@ -18,11 +17,21 @@ namespace persim::persist
 /**
  * The ordered window of one core's unpersisted epochs.
  *
- * The front is the oldest unpersisted epoch, the back is the current
- * (Ongoing) epoch. Persisted epochs retire from the front. The window is
- * bounded (hardware has 3-bit epoch tags); opening a new epoch when the
- * window is full must stall until the oldest epoch persists — the caller
- * checks canOpen() and registers a waiter on the oldest epoch.
+ * The window is a flat ring of Epoch records indexed by id & mask: the
+ * paper bounds in-flight epochs per core (hardware has 3-bit epoch
+ * tags), so the ring is small and fixed and every lookup is O(1) — no
+ * pointer chasing, no per-epoch allocation. Ring capacity is
+ * maxInflight rounded up to a power of two; because at most
+ * maxInflight ids are in flight, id & mask is collision-free within
+ * the window. Records are reused in place when their slot comes
+ * around again (Epoch::reset), so the waiter/IDT vectors keep their
+ * capacity across epochs.
+ *
+ * The oldest unpersisted epoch is headId(), the current (Ongoing)
+ * epoch is nextId() - 1. Persisted epochs retire from the head.
+ * Opening a new epoch when the window is full must stall until the
+ * oldest epoch persists — the caller checks canOpen() and registers a
+ * waiter on the oldest epoch.
  */
 class EpochTable
 {
@@ -37,22 +46,38 @@ class EpochTable
     CoreId core() const { return _core; }
 
     /** The current (always Ongoing) epoch receiving new stores. */
-    Epoch &current() { return *_window.back(); }
+    Epoch &current() { return slot(_nextId - 1); }
 
-    /** Oldest unpersisted epoch (nullptr if the window is empty). */
-    Epoch *oldest() { return _window.empty() ? nullptr : _window.front().get(); }
+    /** Oldest unpersisted epoch (never null: the window is never
+     * empty — a core always has a current epoch). */
+    Epoch *oldest() { return &slot(_headId); }
 
-    /** Find an epoch still in the window; nullptr if already retired. */
-    Epoch *find(EpochId id);
+    /** Find an epoch still in the window; nullptr if already retired
+     * (or never opened). O(1) via the ring index. */
+    Epoch *
+    find(EpochId id)
+    {
+        if (id < _headId || id >= _nextId)
+            return nullptr;
+        return &slot(id);
+    }
 
     /** True if @p id already persisted (i.e. retired or marked). */
-    bool isPersisted(EpochId id) const;
+    bool
+    isPersisted(EpochId id) const
+    {
+        if (id < _headId)
+            return true; // anything before the head retired as Persisted
+        if (id >= _nextId)
+            return false; // an epoch id from the future
+        return _ring[id & _mask].persisted();
+    }
 
     /**
      * True if a new epoch can be opened (window has a slot).
      * The current Ongoing epoch always occupies one slot.
      */
-    bool canOpen() const { return _window.size() < _maxInflight; }
+    bool canOpen() const { return _nextId - _headId < _maxInflight; }
 
     /**
      * Close the current epoch (persist barrier / BSP boundary / split)
@@ -76,23 +101,32 @@ class EpochTable
     Epoch *predecessorOf(EpochId id);
 
     /** Number of epochs currently in the window. */
-    std::size_t inflight() const { return _window.size(); }
-
-    /** All epochs in the window, oldest first (for iteration). */
-    const std::deque<std::unique_ptr<Epoch>> &window() const
+    std::size_t inflight() const
     {
-        return _window;
+        return static_cast<std::size_t>(_nextId - _headId);
     }
+
+    /** Oldest in-window epoch id (iterate [headId(), nextId())). */
+    EpochId headId() const { return _headId; }
+
+    /** One past the newest in-window epoch id. */
+    EpochId nextId() const { return _nextId; }
+
+    /** In-window epoch @p id (asserted in range; see find()). */
+    Epoch &at(EpochId id);
 
     /** Total epochs ever opened by this core. */
     std::uint64_t epochsOpened() const { return _nextId; }
 
   private:
+    Epoch &slot(EpochId id) { return _ring[id & _mask]; }
+
     CoreId _core;
     unsigned _maxInflight;
-    unsigned _idtCapacity;
+    EpochId _mask;
+    EpochId _headId = 0;
     EpochId _nextId = 0;
-    std::deque<std::unique_ptr<Epoch>> _window;
+    std::vector<Epoch> _ring;
 };
 
 } // namespace persim::persist

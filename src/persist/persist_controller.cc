@@ -78,7 +78,7 @@ PersistController::mcFor(Addr addr)
 
 void
 PersistController::beforeL1Store(CoreId core, cache::CacheLine &line,
-                                 std::function<void()> cont)
+                                 InlineCallback cont)
 {
     if (!_cfg.enabled) {
         cont();
@@ -89,7 +89,7 @@ PersistController::beforeL1Store(CoreId core, cache::CacheLine &line,
 
 void
 PersistController::resolveL1StoreConflict(CoreId core, Addr addr,
-                                          std::function<void()> cont)
+                                          InlineCallback cont)
 {
     // Fixpoint: each round may wait for a flush, during which other
     // stores or third-party splits can change the line's tag or advance
@@ -185,7 +185,7 @@ PersistController::onL1Writeback(CoreId core,
 
 void
 PersistController::toArbiter(unsigned fromNode, CoreId core,
-                             std::function<void()> atArbiter)
+                             InlineCallback atArbiter)
 {
     ++statProtocolMessages;
     _mesh->send(fromNode, l1(core).nodeId(), noc::kControlBytes,
@@ -195,7 +195,7 @@ PersistController::toArbiter(unsigned fromNode, CoreId core,
 void
 PersistController::resolveBankAccess(unsigned bankIdx, CoreId reqCore,
                                      bool isWrite, Addr addr,
-                                     std::function<void()> cont)
+                                     InlineCallback cont)
 {
     if (!_cfg.enabled) {
         cont();
@@ -267,7 +267,7 @@ PersistController::resolveInterThreadClosed(CoreId reqCore, bool isWrite,
                                             CoreId srcCore,
                                             EpochId srcEpoch,
                                             unsigned bankIdx,
-                                            std::function<void()> cont)
+                                            InlineCallback cont)
 {
     EpochArbiter &srcArb = arbiter(srcCore);
     auto replyToBank = [this, srcCore, bankIdx,
@@ -383,7 +383,7 @@ PersistController::onBankGrantWrite(unsigned bankIdx, CoreId reqCore,
 void
 PersistController::beforeLlcEviction(unsigned bankIdx,
                                      cache::CacheLine &victim,
-                                     std::function<void()> cont)
+                                     InlineCallback cont)
 {
     simAssert(_cfg.enabled && victim.tagged(),
               "replacement conflict without a tagged victim");
@@ -417,7 +417,7 @@ PersistController::beforeLlcEviction(unsigned bankIdx,
 // ---------------------------------------------------------------------
 
 void
-PersistController::drainAll(std::function<void()> cont)
+PersistController::drainAll(InlineCallback cont)
 {
     if (!_cfg.enabled) {
         cont();
@@ -425,7 +425,7 @@ PersistController::drainAll(std::function<void()> cont)
     }
     auto remaining = std::make_shared<unsigned>(
         static_cast<unsigned>(_arbiters.size()));
-    auto done = std::make_shared<std::function<void()>>(std::move(cont));
+    auto done = std::make_shared<InlineCallback>(std::move(cont));
     for (auto &arb : _arbiters) {
         arb->drain([this, remaining, done] {
             if (--*remaining == 0) {

@@ -6,7 +6,6 @@
 #ifndef PERSIM_PERSIST_PERSIST_CONTROLLER_HH
 #define PERSIM_PERSIST_PERSIST_CONTROLLER_HH
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "persist/barrier_config.hh"
 #include "persist/epoch_arbiter.hh"
 #include "persist/epoch_observer.hh"
+#include "sim/inline_callback.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -87,7 +87,7 @@ class PersistController : public SimObject
      * running @p cont.
      */
     void beforeL1Store(CoreId core, cache::CacheLine &line,
-                       std::function<void()> cont);
+                       InlineCallback cont);
 
     /**
      * The store performed: tag the line with the core's current epoch
@@ -116,7 +116,7 @@ class PersistController : public SimObject
      * resolution may have flushed or invalidated it.
      */
     void resolveBankAccess(unsigned bankIdx, CoreId reqCore, bool isWrite,
-                           Addr addr, std::function<void()> cont);
+                           Addr addr, InlineCallback cont);
 
     /**
      * True when a write grant to @p reqCore must re-run conflict
@@ -143,14 +143,14 @@ class PersistController : public SimObject
      * removes it entirely).
      */
     void beforeLlcEviction(unsigned bankIdx, cache::CacheLine &victim,
-                           std::function<void()> cont);
+                           InlineCallback cont);
 
     // ------------------------------------------------------------------
     // End of run
     // ------------------------------------------------------------------
 
     /** Drain every core's epochs; @p cont when all are persisted. */
-    void drainAll(std::function<void()> cont);
+    void drainAll(InlineCallback cont);
 
     /** Dump all persist-related stat groups. */
     void dumpStats(std::ostream &os);
@@ -178,17 +178,17 @@ class PersistController : public SimObject
 
     /** L1 store conflict fixpoint (intra-thread, §3.2). */
     void resolveL1StoreConflict(CoreId core, Addr addr,
-                                std::function<void()> cont);
+                                InlineCallback cont);
 
     /** Inter-thread resolution once the source epoch is closed. */
     void resolveInterThreadClosed(CoreId reqCore, bool isWrite,
                                   CoreId srcCore, EpochId srcEpoch,
                                   unsigned bankIdx,
-                                  std::function<void()> cont);
+                                  InlineCallback cont);
 
     /** Mesh round-trip helper: control message to a core's L1 node. */
     void toArbiter(unsigned fromNode, CoreId core,
-                   std::function<void()> atArbiter);
+                   InlineCallback atArbiter);
 
     BarrierConfig _cfg;
     std::vector<std::unique_ptr<EpochArbiter>> _arbiters;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,88 +9,253 @@
 namespace persim
 {
 
+std::uint32_t
+EventQueue::allocNode()
+{
+    if (_freeHead != kNoIndex) {
+        const std::uint32_t slot = _freeHead;
+        _freeHead = _pool[slot].nextFree;
+        _pool[slot].nextFree = kNoIndex;
+        return slot;
+    }
+    simAssert(_pool.size() < kNoIndex, "event pool exhausted");
+    _pool.emplace_back();
+    return static_cast<std::uint32_t>(_pool.size() - 1);
+}
+
+void
+EventQueue::releaseNode(std::uint32_t slot)
+{
+    Node &n = _pool[slot];
+    n.cb = Callback();
+    // Invalidate every outstanding handle to this incarnation; skip a
+    // generation on wrap so ids never read as (gen 0, slot 0) == 0.
+    if (++n.gen == 0)
+        n.gen = 1;
+    n.inUse = false;
+    n.cancelled = false;
+    n.nextFree = _freeHead;
+    _freeHead = slot;
+}
+
+void
+EventQueue::pushWheel(Tick when, std::uint32_t slot)
+{
+    const std::size_t pos = static_cast<std::size_t>(when) & kWheelMask;
+    std::vector<std::uint32_t> &vec = _slots[pos];
+    if (vec.empty())
+        setOccupied(pos);
+    vec.push_back(slot);
+    ++_wheelCount;
+}
+
 EventQueue::EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
     simAssert(when >= _now, "event scheduled in the past: when=", when,
               " now=", _now);
     simAssert(static_cast<bool>(cb), "null event callback");
-    EventId id = _nextId++;
-    _heap.push_back(Entry{when, id, std::move(cb)});
-    siftUp(_heap.size() - 1);
-    return id;
+    const std::uint32_t slot = allocNode();
+    Node &n = _pool[slot];
+    n.cb = std::move(cb);
+    n.inUse = true;
+    // _cursor == _now whenever user code runs, so when >= _cursor and
+    // the window test below is a plain subtraction.
+    if (when - _cursor < kWheelSlots) {
+        pushWheel(when, slot);
+    } else {
+        _heap.push_back(HeapEntry{when, _nextSeq++, slot});
+        siftUp(_heap.size() - 1);
+    }
+    ++_numLive;
+    return (static_cast<EventId>(n.gen) << 32) | slot;
+}
+
+EventQueue::EventId
+EventQueue::scheduleIn(Tick delay, Callback cb)
+{
+    simAssert(delay <= kTickNever - _now,
+              "scheduleIn overflow: now=", _now, " delay=", delay,
+              " wraps Tick");
+    return schedule(_now + delay, std::move(cb));
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= _nextId)
-        return;
-    // Lazy deletion: mark the id; the entry is discarded when popped.
-    _cancelled.insert(id);
+    const std::uint32_t slot = static_cast<std::uint32_t>(id);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= _pool.size())
+        return; // never issued
+    Node &n = _pool[slot];
+    if (!n.inUse || n.gen != gen || n.cancelled)
+        return; // already fired, cancelled, or recycled: no-op
+    n.cancelled = true;
+    n.cb = Callback(); // release the capture eagerly
+    ++_numCancelled;
+    --_numLive;
 }
+
+// The overflow heap is 4-ary: a wider node halves the tree depth while
+// keeping all four children of a node inside one or two host cache
+// lines (HeapEntry is 24 bytes). Heap shape never affects simulation
+// order — (when, seq) is a total order, so the pop sequence is
+// identical for any valid heap arrangement.
 
 void
 EventQueue::siftUp(std::size_t i)
 {
+    const HeapEntry e = _heap[i];
     while (i > 0) {
-        std::size_t parent = (i - 1) / 2;
-        if (!before(_heap[i], _heap[parent]))
+        const std::size_t parent = (i - 1) / kHeapArity;
+        if (!before(e, _heap[parent]))
             break;
-        std::swap(_heap[i], _heap[parent]);
+        _heap[i] = _heap[parent];
         i = parent;
     }
+    _heap[i] = e;
 }
 
 void
 EventQueue::siftDown(std::size_t i)
 {
     const std::size_t n = _heap.size();
+    const HeapEntry e = _heap[i];
     while (true) {
-        std::size_t left = 2 * i + 1;
-        std::size_t right = left + 1;
-        std::size_t smallest = i;
-        if (left < n && before(_heap[left], _heap[smallest]))
-            smallest = left;
-        if (right < n && before(_heap[right], _heap[smallest]))
-            smallest = right;
-        if (smallest == i)
+        const std::size_t first = kHeapArity * i + 1;
+        if (first >= n)
             break;
-        std::swap(_heap[i], _heap[smallest]);
+        const std::size_t last = std::min(first + kHeapArity, n);
+        std::size_t smallest = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(_heap[c], _heap[smallest]))
+                smallest = c;
+        }
+        if (!before(_heap[smallest], e))
+            break;
+        _heap[i] = _heap[smallest];
         i = smallest;
     }
+    _heap[i] = e;
 }
 
-bool
-EventQueue::popLive(Entry &out)
+void
+EventQueue::drainOverflow()
 {
-    while (!_heap.empty()) {
-        std::swap(_heap.front(), _heap.back());
-        Entry top = std::move(_heap.back());
+    while (!_heap.empty() && _heap.front().when - _cursor < kWheelSlots) {
+        pushWheel(_heap.front().when, _heap.front().slot);
+        _heap.front() = _heap.back();
         _heap.pop_back();
         if (!_heap.empty())
             siftDown(0);
-        auto it = _cancelled.find(top.id);
-        if (it != _cancelled.end()) {
-            _cancelled.erase(it);
-            continue;
-        }
-        out = std::move(top);
-        return true;
     }
+}
+
+Tick
+EventQueue::nextOccupiedTick() const
+{
+    const std::size_t p0 = static_cast<std::size_t>(_cursor) & kWheelMask;
+    // First (partial) word: positions strictly after the cursor's.
+    const std::size_t start = (p0 + 1) & kWheelMask;
+    std::size_t word = start >> 6;
+    const std::uint64_t head = _occupied[word] >> (start & 63);
+    if (head) {
+        const std::size_t pos =
+            (start + static_cast<std::size_t>(std::countr_zero(head))) &
+            kWheelMask;
+        return _cursor + ((pos - p0) & kWheelMask);
+    }
+    for (std::size_t i = 1; i <= kWheelWords; ++i) {
+        const std::size_t w = (word + i) & (kWheelWords - 1);
+        const std::uint64_t bits = _occupied[w];
+        if (bits) {
+            const std::size_t pos =
+                (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+            const std::size_t d = (pos - p0) & kWheelMask;
+            simAssert(d != 0, "wheel occupancy out of sync");
+            return _cursor + d;
+        }
+    }
+    panic("nextOccupiedTick on an empty wheel");
+    return kTickNever; // unreachable; panic() throws
+}
+
+bool
+EventQueue::findNextLive(Tick limit)
+{
+    drainOverflow();
+    while (true) {
+        const std::size_t pos =
+            static_cast<std::size_t>(_cursor) & kWheelMask;
+        std::vector<std::uint32_t> &vec = _slots[pos];
+        while (_slotIdx < vec.size()) {
+            const std::uint32_t slot = vec[_slotIdx];
+            if (!_pool[slot].cancelled)
+                return true;
+            releaseNode(slot);
+            --_numCancelled;
+            --_wheelCount;
+            ++_slotIdx;
+        }
+        vec.clear();
+        _slotIdx = 0;
+        clearOccupied(pos);
+        if (_wheelCount > 0) {
+            const Tick next = nextOccupiedTick();
+            if (next > limit)
+                break;
+            _cursor = next;
+        } else if (!_heap.empty() && _heap.front().when <= limit) {
+            _cursor = _heap.front().when;
+        } else {
+            break;
+        }
+        drainOverflow();
+    }
+    // Nothing live at tick <= limit. Park the cursor where later
+    // schedules (which satisfy when >= now()) cannot land behind it:
+    // at the limit runUntil() will advance now() to, or back at now()
+    // for an unbounded search over a drained queue.
+    _cursor = limit == kTickNever ? _now : limit;
+    _slotIdx = 0;
+    drainOverflow();
     return false;
+}
+
+void
+EventQueue::consumeTop(Callback &cb)
+{
+    const std::size_t pos = static_cast<std::size_t>(_cursor) & kWheelMask;
+    const std::uint32_t slot = _slots[pos][_slotIdx++];
+    --_wheelCount;
+    cb = std::move(_pool[slot].cb);
+    // Release before invoking: a cancel of this (fired) handle must be
+    // a no-op, and the callback may itself schedule into the freed slot.
+    releaseNode(slot);
+    --_numLive;
+}
+
+bool
+EventQueue::popLive(Tick &when, Callback &cb)
+{
+    if (!findNextLive(kTickNever))
+        return false;
+    consumeTop(cb);
+    when = _cursor;
+    return true;
 }
 
 bool
 EventQueue::runNext()
 {
-    Entry e;
-    if (!popLive(e))
+    Tick when;
+    Callback cb;
+    if (!popLive(when, cb))
         return false;
-    simAssert(e.when >= _now, "time went backwards");
-    _now = e.when;
+    simAssert(when >= _now, "time went backwards");
+    _now = when;
     ++_executed;
-    e.cb();
+    cb();
     return true;
 }
 
@@ -105,21 +272,13 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t count = 0;
-    Entry e;
-    while (!_heap.empty()) {
-        // Peek at the live top without popping if it is beyond the limit.
-        if (!popLive(e))
-            break;
-        if (e.when > limit) {
-            // Put it back; heap property restored by sift.
-            _heap.push_back(std::move(e));
-            siftUp(_heap.size() - 1);
-            break;
-        }
-        _now = e.when;
+    while (findNextLive(limit)) {
+        Callback cb;
+        consumeTop(cb);
+        _now = _cursor;
         ++_executed;
         ++count;
-        e.cb();
+        cb();
     }
     if (_now < limit)
         _now = limit;

@@ -11,29 +11,48 @@
 #ifndef PERSIM_SIM_EVENT_QUEUE_HH
 #define PERSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/types.hh"
 
 namespace persim
 {
 
 /**
- * Deterministic binary-heap event queue.
+ * Deterministic timing-wheel event queue over pooled event nodes.
  *
- * The heap is implemented in-house (rather than std::priority_queue) so
- * that callbacks can be moved out of the heap on pop and so ties break by
- * insertion order.
+ * Events within the wheel horizon (kWheelSlots ticks — which covers
+ * nearly every event the simulator schedules, since component delays
+ * are at most a few hundred cycles) go to a per-tick FIFO slot:
+ * schedule and pop are O(1) appends/scans with no sifting at all.
+ * Events beyond the horizon go to a small 4-ary min-heap of POD
+ * entries (tick, sequence, pool slot) and drain into the wheel as the
+ * cursor advances. Ordering is exactly (tick, schedule order): wheel
+ * slots are FIFO and the overflow drains into a slot strictly before
+ * any same-tick direct insert can reach it (drains happen on every
+ * cursor advance, and a direct insert requires the tick to be inside
+ * the window, which implies earlier overflow entries for that tick
+ * have already drained).
+ *
+ * Callbacks live in a free-list pool of nodes recycled for the
+ * lifetime of the queue. Cancellation flips a bit in the node — O(1),
+ * no hashing, no unbounded side table — and each node carries a
+ * generation counter so stale handles (fired, cancelled, or recycled
+ * events) are rejected without any bookkeeping growth.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
-    /** Handle for cancelling a scheduled event. 0 is never returned. */
+    /**
+     * Handle for cancelling a scheduled event. 0 is never returned.
+     * Encodes (generation << 32 | pool slot); handles are never reused:
+     * the generation advances whenever a node fires or is cancelled.
+     */
     using EventId = std::uint64_t;
 
     EventQueue() = default;
@@ -53,11 +72,14 @@ class EventQueue
      */
     EventId schedule(Tick when, Callback cb);
 
-    /** Schedule @p cb to run @p delay ticks from now. */
-    EventId scheduleIn(Tick delay, Callback cb)
-    {
-        return schedule(_now + delay, std::move(cb));
-    }
+    /**
+     * Schedule @p cb to run @p delay ticks from now.
+     *
+     * Asserts that now() + delay does not overflow Tick — a wrapped sum
+     * would otherwise surface as a confusing "scheduled in the past"
+     * panic (or, worse, a silently early event).
+     */
+    EventId scheduleIn(Tick delay, Callback cb);
 
     /**
      * Cancel a previously scheduled event.
@@ -90,38 +112,127 @@ class EventQueue
     std::uint64_t runUntil(Tick limit);
 
     /** True when no live events remain. */
-    bool empty() const { return _heap.size() == _cancelled.size(); }
+    bool empty() const { return _numLive == 0; }
 
     /** Number of live (non-cancelled) events pending. */
-    std::size_t pending() const { return _heap.size() - _cancelled.size(); }
+    std::size_t pending() const { return _numLive; }
 
     /** Total events executed since construction. */
     std::uint64_t executed() const { return _executed; }
 
+    // ------------------------------------------------------------------
+    // Pool probes (regression tests and diagnostics)
+    // ------------------------------------------------------------------
+
+    /** Cancelled events still occupying a pool node (bounded by the
+     * number of in-flight events; a cancel of a fired/stale handle
+     * leaves no residue at all). */
+    std::size_t pendingCancellations() const { return _numCancelled; }
+
+    /** Total nodes ever created (pool high-water mark). */
+    std::size_t poolAllocated() const { return _pool.size(); }
+
+    /** Nodes currently parked on the free list. */
+    std::size_t poolFree() const
+    {
+        return _pool.size() - _numLive - _numCancelled;
+    }
+
   private:
-    struct Entry
+    static constexpr std::uint32_t kNoIndex = UINT32_MAX;
+    /** Overflow-heap fan-out; see the determinism note at siftDown(). */
+    static constexpr std::size_t kHeapArity = 4;
+    /** Wheel horizon in ticks (power of two). */
+    static constexpr std::size_t kWheelSlots = 4096;
+    static constexpr std::size_t kWheelMask = kWheelSlots - 1;
+    static constexpr std::size_t kWheelWords = kWheelSlots / 64;
+
+    struct Node
+    {
+        Callback cb;
+        std::uint32_t gen = 1;       // bumped on every release
+        std::uint32_t nextFree = kNoIndex;
+        bool inUse = false;
+        bool cancelled = false;
+    };
+
+    /** POD heap entry; seq is the monotonic FIFO tie-breaker. */
+    struct HeapEntry
     {
         Tick when;
-        EventId id; // also the FIFO tie-breaker (monotonic)
-        Callback cb;
+        std::uint64_t seq;
+        std::uint32_t slot;
     };
 
     /** True if a orders strictly before b. */
-    static bool before(const Entry &a, const Entry &b)
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
     {
-        return a.when < b.when || (a.when == b.when && a.id < b.id);
+        return a.when < b.when || (a.when == b.when && a.seq < b.seq);
     }
 
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);
 
-    /** Pop the top entry, skipping cancelled ones. False if drained. */
-    bool popLive(Entry &out);
+    std::uint32_t allocNode();
+    void releaseNode(std::uint32_t slot);
 
-    std::vector<Entry> _heap;
-    std::unordered_set<EventId> _cancelled;
+    /** Append @p slot to the wheel slot for tick @p when (in-window). */
+    void pushWheel(Tick when, std::uint32_t slot);
+
+    /** Move overflow entries that entered the window onto the wheel. */
+    void drainOverflow();
+
+    /** Tick of the nearest occupied wheel slot after the cursor;
+     * requires _wheelCount > 0. */
+    Tick nextOccupiedTick() const;
+
+    /**
+     * Advance the cursor (never past @p limit), skimming cancelled
+     * entries, until it rests on the next live entry. Returns false if
+     * none exists at tick <= limit; the cursor is then left at @p
+     * limit (or back at now() for an unbounded search) so later
+     * schedules stay ahead of it.
+     */
+    bool findNextLive(Tick limit);
+
+    /** Consume the live entry findNextLive() parked the cursor on. */
+    void consumeTop(Callback &cb);
+
+    /** Pop the next live event into @p cb. False if drained. */
+    bool popLive(Tick &when, Callback &cb);
+
+    void
+    setOccupied(std::size_t pos)
+    {
+        _occupied[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+    }
+
+    void
+    clearOccupied(std::size_t pos)
+    {
+        _occupied[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+    }
+
+    /** Per-tick FIFO slots; entry = pool slot index. A slot holds
+     * entries for exactly one tick of the window [cursor, cursor+W). */
+    std::vector<std::vector<std::uint32_t>> _slots{kWheelSlots};
+    std::array<std::uint64_t, kWheelWords> _occupied{};
+    /** Tick the wheel cursor rests on; == now() whenever user code can
+     * run (callbacks or between run calls). */
+    Tick _cursor = 0;
+    /** Scan position inside the cursor's slot. */
+    std::size_t _slotIdx = 0;
+    /** Entries resident in wheel slots (live + not-yet-skimmed). */
+    std::size_t _wheelCount = 0;
+
+    std::vector<HeapEntry> _heap; // overflow: when - cursor >= kWheelSlots
+    std::vector<Node> _pool;
+    std::uint32_t _freeHead = kNoIndex;
+    std::uint64_t _nextSeq = 1;
+    std::size_t _numLive = 0;
+    std::size_t _numCancelled = 0;
     Tick _now = 0;
-    EventId _nextId = 1;
     std::uint64_t _executed = 0;
 };
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -117,6 +119,87 @@ TEST(EventQueue, MaxEventsBound)
     eq.scheduleIn(1, loop);
     EXPECT_EQ(eq.run(100), 100u);
     EXPECT_EQ(count, 100);
+}
+
+// ---------------------------------------------------------------------
+// Pooled nodes, generation-bit cancellation, overflow guard
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, CancelAfterFireLeavesNoResidue)
+{
+    // Regression: cancelling an already-fired (or repeatedly cancelled)
+    // id used to park the id in a side table forever; the set grew
+    // monotonically over a long run. Now a stale handle is rejected by
+    // its generation check and leaves no bookkeeping behind.
+    EventQueue eq;
+    auto id = eq.schedule(10, [] {});
+    eq.run();
+    for (int i = 0; i < 100; ++i)
+        eq.cancel(id); // fired: every cancel is a pure no-op
+    EXPECT_EQ(eq.pendingCancellations(), 0u);
+    EXPECT_EQ(eq.poolAllocated(), 1u);
+    EXPECT_EQ(eq.poolFree(), 1u);
+
+    auto id2 = eq.schedule(20, [] {});
+    eq.cancel(id2);
+    for (int i = 0; i < 100; ++i)
+        eq.cancel(id2); // duplicate cancels of a cancelled id: no-ops
+    EXPECT_EQ(eq.pendingCancellations(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingCancellations(), 0u);
+    EXPECT_EQ(eq.poolAllocated(), 1u); // the node was recycled, not leaked
+}
+
+TEST(EventQueue, PoolNodesAreRecycled)
+{
+    EventQueue eq;
+    for (int i = 0; i < 1000; ++i) {
+        auto keep = eq.scheduleIn(1, [] {});
+        auto drop = eq.scheduleIn(1, [] {});
+        eq.cancel(drop);
+        eq.run();
+        (void)keep;
+    }
+    // Two events in flight at a time: the pool never needs more nodes.
+    EXPECT_EQ(eq.poolAllocated(), 2u);
+    EXPECT_EQ(eq.pendingCancellations(), 0u);
+}
+
+TEST(EventQueue, StaleHandleCannotCancelARecycledNode)
+{
+    EventQueue eq;
+    auto id1 = eq.schedule(10, [] {});
+    eq.run();
+    bool ran = false;
+    auto id2 = eq.schedule(20, [&] { ran = true; });
+    EXPECT_NE(id1, id2); // same pool slot, new generation
+    eq.cancel(id1);      // stale: must not hit the new occupant
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelledCaptureIsReleasedEagerly)
+{
+    // Cancelling drops the callback (and anything it owns) immediately,
+    // without waiting for the node to surface at the heap top.
+    EventQueue eq;
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    auto id = eq.schedule(10, [token = std::move(token)] { (void)*token; });
+    EXPECT_FALSE(watch.expired());
+    eq.cancel(id);
+    EXPECT_TRUE(watch.expired());
+    eq.run();
+}
+
+TEST(EventQueue, ScheduleInOverflowPanics)
+{
+    EventQueue eq;
+    eq.runUntil(100); // now() == 100
+    EXPECT_THROW(eq.scheduleIn(kTickNever - 50, [] {}), SimPanic);
+    // The boundary case still fits: now + delay == kTickNever.
+    auto id = eq.scheduleIn(kTickNever - 100, [] {});
+    eq.cancel(id);
 }
 
 TEST(EventQueue, ExecutedCounterCounts)

@@ -283,6 +283,36 @@ TEST(ExpRunner, ParallelSweepIsByteIdenticalToSerial)
     EXPECT_EQ(t1, t8);
 }
 
+TEST(ExpRunner, Fig13LbCellIsDeterministicAcrossRunsAndJobCounts)
+{
+    // The determinism oracle for kernel hot-path changes: the fig13 LB
+    // cell (small scale) must produce byte-identical JSON run-to-run
+    // and at any worker count. Any nondeterminism introduced into the
+    // event kernel (tie-break order, allocation-dependent behaviour)
+    // shows up here as a diff.
+    Sweep sweep = exp::figureSweep(13, /*ops=*/200, /*cores=*/4,
+                                   /*seed=*/1);
+    std::erase_if(sweep.jobs, [](const ExperimentSpec &s) {
+        return s.configLabel != "LB300";
+    });
+    ASSERT_FALSE(sweep.jobs.empty());
+
+    auto runAt = [&](unsigned workers) {
+        exp::RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = false;
+        exp::SweepRunner r(opts);
+        auto out = r.run(sweep);
+        return exp::sweepToJson(sweep, out).dump(2);
+    };
+
+    const std::string first = runAt(1);
+    const std::string again = runAt(1);
+    const std::string parallel = runAt(8);
+    EXPECT_EQ(first, again);
+    EXPECT_EQ(first, parallel);
+}
+
 TEST(ExpRunner, FailedJobDoesNotKillTheSweep)
 {
     Sweep sweep;

@@ -50,6 +50,9 @@ usage(const char *argv0)
         "summary only)\n"
         "  --csv FILE        write the figure table as CSV\n"
         "  --no-stats        omit per-job stat trees from the JSON\n"
+        "  --only PATTERN    run only jobs whose id contains PATTERN\n"
+        "                    (substring match on \"<workload>/<config>/"
+        "s<seed>\")\n"
         "  --timing-out FILE write host wall-clock info (separate file;\n"
         "                    never part of the deterministic output)\n"
         "  --trace FILE      write a Chrome/Perfetto trace of one job\n"
@@ -80,6 +83,7 @@ main(int argc, char **argv)
     std::string traceFile;
     std::string traceJob;
     std::string traceFlags = "all";
+    std::string onlyPattern;
     bool includeStats = true;
     bool listOnly = false;
     bool quiet = false;
@@ -119,6 +123,8 @@ main(int argc, char **argv)
             timingFile = value("--timing-out");
         else if (arg == "--no-stats")
             includeStats = false;
+        else if (arg == "--only")
+            onlyPattern = value("--only");
         else if (arg == "--trace")
             traceFile = value("--trace");
         else if (arg == "--trace-job")
@@ -152,6 +158,18 @@ main(int argc, char **argv)
             for (unsigned s = 0; s < numSeeds; ++s)
                 seeds.push_back(s);
             sweep.crossSeeds(seeds);
+        }
+
+        if (!onlyPattern.empty()) {
+            std::erase_if(sweep.jobs, [&](const auto &spec) {
+                return spec.id().find(onlyPattern) == std::string::npos;
+            });
+            if (sweep.jobs.empty()) {
+                std::fprintf(stderr,
+                             "--only '%s' matches no job in %s\n",
+                             onlyPattern.c_str(), sweep.name.c_str());
+                return 2;
+            }
         }
 
         if (listOnly) {
