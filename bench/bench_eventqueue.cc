@@ -14,6 +14,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/inline_callback.hh"
+#include "sim/trace.hh"
 
 namespace
 {
@@ -148,6 +149,37 @@ BM_InlineCallbackInvoke(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_InlineCallbackInvoke);
+
+/**
+ * The disabled observability probe path: exactly what every model
+ * probe site pays per event when no Recorder is attached — one
+ * thread-local load and a predictable branch. A per-event cost here
+ * shows up multiplied by ~10^8 in a figure sweep, so this is the
+ * benchmark that enforces "zero-cost when off". Compare against
+ * BM_ScheduleRun_SmallCapture: the delta must stay within noise.
+ */
+void
+BM_ScheduleRun_DisabledProbe(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < kEvents; ++i) {
+            eq.schedule(i & 1023, [&sink, &eq] {
+                ++sink;
+                if (persim::trace::probing()) [[unlikely]] {
+                    persim::trace::span(eq.now(), eq.now() + 1, "bench",
+                                        "tick", "Epoch");
+                }
+            });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_ScheduleRun_DisabledProbe)->Unit(benchmark::kMillisecond);
 
 /** std::function construct+invoke for comparison. */
 void

@@ -44,10 +44,10 @@ runOnce(model::PersistencyModel pm, persist::BarrierKind bk,
         *logWrites = 0;
         *checkpointLines = 0;
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            *logWrites += stats["persist.arbiter" + std::to_string(c) +
+            *logWrites += stats["persist.arbiter[" + std::to_string(c) +
                                 ".logWrites"];
             *checkpointLines +=
-                stats["persist.arbiter" + std::to_string(c) +
+                stats["persist.arbiter[" + std::to_string(c) +
                       ".checkpointLines"];
         }
     }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by persim_sweep.
+
+Checks the invariants Perfetto relies on:
+  1. the file is valid JSON with a traceEvents array;
+  2. every B event has a stack-matching E event on its (pid, tid) lane;
+  3. timestamps are non-decreasing per lane (B/E/X) and strictly
+     increasing per counter track (C);
+  4. optionally, that named counter tracks and span-name prefixes are
+     present (--require-counter / --require-span).
+
+Exit status is 0 when every check passes, 1 otherwise.
+
+Usage:
+  scripts/check_trace.py trace.json \
+      --require-counter epochsInFlight --require-counter nvmQueueDepth \
+      --require-span "epoch " --require-span execute
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def check(path, require_counters, require_spans):
+    errors = []
+    with open(path) as fh:
+        doc = json.load(fh)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+
+    stacks = defaultdict(list)  # (pid, tid) -> [B names]
+    lane_ts = {}  # (pid, tid) -> last ts
+    counter_ts = {}  # counter name -> last ts
+    counters_seen = set()
+    span_names = set()
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {i}: missing/invalid ts: {ev}")
+            continue
+
+        if ph in ("B", "E", "X", "i"):
+            last = lane_ts.get(key)
+            if last is not None and ts < last:
+                errors.append(
+                    f"event {i}: ts {ts} < {last} on lane {key}")
+            lane_ts[key] = ts
+
+        if ph == "B":
+            stacks[key].append(ev.get("name"))
+            span_names.add(ev.get("name", ""))
+        elif ph == "E":
+            if not stacks[key]:
+                errors.append(f"event {i}: E without open B on {key}")
+            elif stacks[key][-1] != ev.get("name"):
+                errors.append(
+                    f"event {i}: E '{ev.get('name')}' does not match "
+                    f"open B '{stacks[key][-1]}' on lane {key}")
+            else:
+                stacks[key].pop()
+        elif ph == "X":
+            span_names.add(ev.get("name", ""))
+            if not isinstance(ev.get("dur"), (int, float)):
+                errors.append(f"event {i}: X without dur: {ev}")
+        elif ph == "C":
+            name = ev.get("name")
+            counters_seen.add(name)
+            last = counter_ts.get(name)
+            if last is not None and ts <= last:
+                errors.append(
+                    f"event {i}: counter '{name}' ts {ts} <= {last}")
+            counter_ts[name] = ts
+
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(f"lane {key}: unclosed B events: {stack}")
+
+    for name in require_counters:
+        if name not in counters_seen:
+            errors.append(f"required counter track missing: {name}")
+    for prefix in require_spans:
+        if not any(n.startswith(prefix) for n in span_names):
+            errors.append(f"no span name starts with: {prefix!r}")
+
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON file")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    help="fail unless this ph:C track exists")
+    ap.add_argument("--require-span", action="append", default=[],
+                    help="fail unless a span name starts with this")
+    args = ap.parse_args()
+
+    errors = check(args.trace, args.require_counter, args.require_span)
+    if errors:
+        for e in errors[:20]:
+            print(f"check_trace: {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"check_trace: ... and {len(errors) - 20} more",
+                  file=sys.stderr)
+        return 1
+    print(f"check_trace: {args.trace} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

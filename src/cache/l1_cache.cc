@@ -90,6 +90,7 @@ L1Cache::accessStage2(Addr addr, bool isWrite,
     if (line)
         line->pinned = true;
     _mshrs.allocate(addr, isWrite, std::move(acc));
+    probeMshrEpisode();
     sendMiss(addr, isWrite, PendingAccess{isWrite, _core, {}});
 }
 
@@ -108,6 +109,7 @@ L1Cache::prefetchExclusive(Addr addr)
         if (line)
             line->pinned = true; // transient upgrade; see accessStage2
         _mshrs.allocate(addr, true, PendingAccess{false, _core, {}});
+        probeMshrEpisode();
         sendMiss(addr, true, PendingAccess{true, _core, {}});
     });
 }
@@ -183,6 +185,7 @@ L1Cache::handleFillGrant(Addr addr, CoherenceState state, CoreId tagCore,
         line->dirty = true;
     }
     replayNext(addr, _mshrs.release(addr), 0);
+    probeMshrEpisode();
 }
 
 void
@@ -250,7 +253,24 @@ resend:
     _mshrs.allocate(addr, anyWrite, std::move(queue[idx]));
     for (std::size_t i = idx + 1; i < queue.size(); ++i)
         _mshrs.merge(addr, std::move(queue[i]));
+    probeMshrEpisode();
     sendMiss(addr, anyWrite, PendingAccess{anyWrite, _core, {}});
+}
+
+void
+L1Cache::probeMshrEpisode()
+{
+    if (!trace::probing()) [[likely]]
+        return;
+    if (_mshrs.size() == 0) {
+        if (_mshrBusySince != kTickNever) {
+            trace::span(_mshrBusySince, curTick(), name(), "mshr busy",
+                        "Mshr");
+            _mshrBusySince = kTickNever;
+        }
+    } else if (_mshrBusySince == kTickNever) {
+        _mshrBusySince = curTick();
+    }
 }
 
 void

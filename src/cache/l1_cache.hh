@@ -144,6 +144,9 @@ class L1Cache : public SimObject
     CacheArray &array() { return _array; }
     StatGroup &stats() { return _stats; }
 
+    /** In-use MSHR entries (interval-stat sampling). */
+    std::size_t mshrOccupancy() const { return _mshrs.size(); }
+
   private:
     void accessStage2(Addr addr, bool isWrite,
                       InlineCallback onComplete);
@@ -158,6 +161,8 @@ class L1Cache : public SimObject
      */
     void writebackLine(CacheLine &line, WritebackKind kind);
     void serviceDeferred();
+    /** Observability: close/open the MSHR-occupancy episode span. */
+    void probeMshrEpisode();
 
     CoreId _core;
     L1Config _cfg;
@@ -170,6 +175,9 @@ class L1Cache : public SimObject
 
     /** Accesses deferred because the MSHR file was full. */
     std::deque<InlineCallback> _deferred;
+
+    /** Start of the current MSHR busy episode (kTickNever when idle). */
+    Tick _mshrBusySince = kTickNever;
 
     Scalar _loads;
     Scalar _stores;

@@ -98,6 +98,9 @@ class LlcBank : public SimObject
 
     std::uint64_t requests() const { return _requests.value(); }
 
+    /** Lines with a queued transaction (interval-stat sampling). */
+    std::size_t busyLines() const { return _busy.size(); }
+
     /** Dump in-flight transaction state (deadlock diagnosis). */
     void debugDump(std::ostream &os);
 

@@ -5,6 +5,7 @@
 #include "cache/l1_cache.hh"
 #include "persist/epoch_arbiter.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace persim::cpu
 {
@@ -38,6 +39,7 @@ Core::Core(const std::string &name, EventQueue &eq, CoreId id,
 void
 Core::start()
 {
+    _startTick = curTick();
     scheduleIn(0, [this] { step(); });
 }
 
@@ -195,6 +197,8 @@ Core::maybeDone()
     if (_halted && _wb.empty() && _drainInflight == 0 &&
         _doneTick == kTickNever) {
         _doneTick = curTick();
+        if (trace::probing()) [[unlikely]]
+            trace::span(_startTick, _doneTick, name(), "execute", "Exec");
         if (_onDone)
             _onDone();
     }

@@ -121,6 +121,7 @@ class Core : public SimObject
     unsigned _drainInflight = 0;
     /** Lines with an in-flight drained store (load forwarding). */
     std::unordered_map<Addr, unsigned> _inflightLines;
+    Tick _startTick = 0;
     Tick _doneTick = kTickNever;
     std::uint64_t _storesSinceBarrier = 0;
     InlineCallback _onDone;

@@ -14,7 +14,7 @@ namespace persim::exp
 namespace
 {
 
-/** Sum "<prefix><i><suffix>" over all per-core stat instances. */
+/** Sum "<prefix>[<i>]<suffix>" over all per-core stat instances. */
 double
 sumPerCore(const std::map<std::string, double> &stats,
            const std::string &prefix, const std::string &suffix,
@@ -22,7 +22,8 @@ sumPerCore(const std::map<std::string, double> &stats,
 {
     double total = 0;
     for (unsigned c = 0; c < cores; ++c) {
-        auto it = stats.find(prefix + std::to_string(c) + suffix);
+        auto it =
+            stats.find(prefix + "[" + std::to_string(c) + "]" + suffix);
         if (it != stats.end())
             total += it->second;
     }

@@ -42,7 +42,8 @@ JobOutcome::toJson(bool includeStats) const
 
 JobOutcome
 runJob(const ExperimentSpec &spec, unsigned maxAttempts,
-       const std::function<void(model::SystemConfig &)> &tweak)
+       const std::function<void(model::SystemConfig &)> &tweak,
+       const std::function<void(unsigned)> &onAttempt)
 {
     JobOutcome out;
     out.spec = spec;
@@ -51,6 +52,8 @@ runJob(const ExperimentSpec &spec, unsigned maxAttempts,
 
     for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
         out.attempts = attempt;
+        if (onAttempt)
+            onAttempt(attempt);
         const auto start = std::chrono::steady_clock::now();
         try {
             model::SystemConfig cfg = spec.toSystemConfig();
@@ -172,6 +175,7 @@ SweepRunner::run(const Sweep &sweep)
     const std::size_t total = sweep.jobs.size();
     std::vector<JobOutcome> outcomes(total);
     _traceRecords.clear();
+    _telemetry = SweepTelemetry{};
 
     // Which job (if any) records a trace.
     std::size_t traceIndex = SIZE_MAX;
@@ -189,22 +193,85 @@ SweepRunner::run(const Sweep &sweep)
     }
 
     std::atomic<std::size_t> done{0};
+    std::atomic<std::uint64_t> doneEvents{0};
     std::mutex progressMutex;
-    trace::Recorder recorder(_opts.traceFlags);
+    _recorder = std::make_unique<trace::Recorder>(_opts.traceFlags,
+                                                  _opts.counterWindow);
+
+    // Host-side per-job state, shared with the live monitor thread.
+    std::vector<std::atomic<unsigned char>> states(total);
+    for (auto &s : states)
+        s.store(static_cast<unsigned char>(JobState::Queued));
+    std::vector<unsigned> jobWorker(total, 0);
+    std::vector<std::uint64_t> jobRssKb(total, 0);
 
     const auto start = std::chrono::steady_clock::now();
+
+    // The monitor only reads atomics and /proc: it cannot touch any
+    // simulation state, so determinism is unaffected.
+    std::atomic<bool> stopMonitor{false};
+    std::thread monitor;
+    if (_opts.liveProgress) {
+        monitor = std::thread([&] {
+            while (!stopMonitor.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    _opts.liveIntervalMs));
+                std::size_t counts[5] = {};
+                for (const auto &s : states)
+                    ++counts[s.load(std::memory_order_relaxed)];
+                const double elapsed = msSince(start);
+                const double evPerSec =
+                    elapsed > 0.0 ? static_cast<double>(
+                                        doneEvents.load()) *
+                                        1e3 / elapsed
+                                  : 0.0;
+                std::lock_guard<std::mutex> lock(progressMutex);
+                std::fprintf(
+                    stderr,
+                    "  -- %zu queued, %zu running, %zu retrying, "
+                    "%zu done, %zu failed | %.1f s | %.2f Mev/s | "
+                    "RSS %.1f MB (peak %.1f MB)\n",
+                    counts[static_cast<unsigned>(JobState::Queued)],
+                    counts[static_cast<unsigned>(JobState::Running)],
+                    counts[static_cast<unsigned>(JobState::Retrying)],
+                    counts[static_cast<unsigned>(JobState::Done)],
+                    counts[static_cast<unsigned>(JobState::Failed)],
+                    elapsed / 1e3, evPerSec / 1e6,
+                    static_cast<double>(currentRssKb()) / 1024.0,
+                    static_cast<double>(peakRssKb()) / 1024.0);
+            }
+        });
+    }
+
     WorkStealingPool pool(_opts.jobs, total);
     pool.run([&](std::size_t index, unsigned worker) {
         const ExperimentSpec &spec = sweep.jobs[index];
+        auto &state = states[index];
+        state.store(static_cast<unsigned char>(JobState::Running),
+                    std::memory_order_relaxed);
 
         const bool tracing = index == traceIndex;
         if (tracing)
-            trace::attachRecorder(&recorder);
-        JobOutcome outcome = runJob(spec, _opts.maxAttempts);
+            trace::attachRecorder(_recorder.get());
+        JobOutcome outcome =
+            runJob(spec, _opts.maxAttempts, {}, [&](unsigned attempt) {
+                if (attempt > 1) {
+                    state.store(static_cast<unsigned char>(
+                                    JobState::Retrying),
+                                std::memory_order_relaxed);
+                }
+            });
         if (tracing)
             trace::detachRecorder();
 
         outcome.index = index;
+        state.store(static_cast<unsigned char>(
+                        outcome.ok ? JobState::Done : JobState::Failed),
+                    std::memory_order_relaxed);
+        jobWorker[index] = worker;
+        jobRssKb[index] = currentRssKb();
+        doneEvents.fetch_add(outcome.result.events,
+                             std::memory_order_relaxed);
         const std::size_t finished = done.fetch_add(1) + 1;
         if (_opts.progress) {
             std::lock_guard<std::mutex> lock(progressMutex);
@@ -225,8 +292,30 @@ SweepRunner::run(const Sweep &sweep)
         }
         outcomes[index] = std::move(outcome);
     });
+    if (monitor.joinable()) {
+        stopMonitor.store(true);
+        monitor.join();
+    }
     _wallMs = msSince(start);
-    _traceRecords = recorder.records();
+    _traceRecords = _recorder->records();
+
+    _telemetry.sweep = sweep.name;
+    _telemetry.workers = _opts.jobs ? _opts.jobs : 1;
+    _telemetry.wallMs = _wallMs;
+    _telemetry.peakRssKb = peakRssKb();
+    _telemetry.jobs.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        const JobOutcome &o = outcomes[i];
+        JobTelemetry jt;
+        jt.id = o.spec.id();
+        jt.state = o.ok ? JobState::Done : JobState::Failed;
+        jt.attempts = o.attempts;
+        jt.worker = jobWorker[i];
+        jt.wallMs = o.wallMs;
+        jt.events = o.result.events;
+        jt.rssAfterKb = jobRssKb[i];
+        _telemetry.jobs.push_back(std::move(jt));
+    }
     return outcomes;
 }
 

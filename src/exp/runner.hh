@@ -33,6 +33,7 @@
 
 #include "exp/json.hh"
 #include "exp/spec.hh"
+#include "exp/telemetry.hh"
 #include "model/system.hh"
 #include "sim/trace.hh"
 
@@ -75,10 +76,14 @@ struct JobOutcome
  *
  * @param tweak Optional config hook applied after the spec's own
  *              SystemConfig is built (ablation benches use this).
+ * @param onAttempt Optional observer called at the start of every
+ *                  attempt (1-based); telemetry flips a job to
+ *                  "retrying" from attempt 2 on.
  */
 JobOutcome runJob(const ExperimentSpec &spec, unsigned maxAttempts = 1,
                   const std::function<void(model::SystemConfig &)> &tweak =
-                      {});
+                      {},
+                  const std::function<void(unsigned)> &onAttempt = {});
 
 /**
  * Generic work-stealing index pool: runs fn(jobIndex) for every index
@@ -143,6 +148,23 @@ struct RunnerOptions
      */
     std::string traceFlags;
     std::string traceJobId;
+
+    /**
+     * Interval-stat sampling window (ticks) for the traced job; 0
+     * disables the windowed sampler. Only meaningful with traceFlags
+     * (the sampler hangs off the attached Recorder).
+     */
+    Tick counterWindow = 0;
+
+    /**
+     * Live telemetry: print a periodic one-line state summary
+     * (queued/running/retrying/done/failed counts, events/sec, RSS) to
+     * stderr while the sweep runs, in addition to per-job progress.
+     */
+    bool liveProgress = false;
+
+    /** Milliseconds between live telemetry lines. */
+    unsigned liveIntervalMs = 2000;
 };
 
 /** Runs a Sweep and owns the optional trace capture. */
@@ -160,12 +182,24 @@ class SweepRunner
         return _traceRecords;
     }
 
+    /**
+     * The full trace capture of the last run() — records, duration
+     * spans, counter samples — for writeChromeTrace; nullptr before
+     * run() or when traceFlags was empty.
+     */
+    const trace::Recorder *recorder() const { return _recorder.get(); }
+
+    /** Host-side telemetry of the last run() (--telemetry-out). */
+    const SweepTelemetry &telemetry() const { return _telemetry; }
+
     /** Total wall-clock of the last run() in milliseconds. */
     double wallMs() const { return _wallMs; }
 
   private:
     RunnerOptions _opts;
     std::vector<trace::Record> _traceRecords;
+    std::unique_ptr<trace::Recorder> _recorder;
+    SweepTelemetry _telemetry;
     double _wallMs = 0.0;
 };
 

@@ -1,0 +1,146 @@
+#include "exp/telemetry.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace persim::exp
+{
+
+namespace
+{
+
+/** Parse "<key>:   <n> kB" from /proc/self/status; 0 if absent. */
+std::uint64_t
+procStatusKb(const char *key)
+{
+    std::ifstream in("/proc/self/status");
+    if (!in)
+        return 0;
+    std::string line;
+    const std::size_t keyLen = std::strlen(key);
+    while (std::getline(in, line)) {
+        if (line.compare(0, keyLen, key) != 0 ||
+            line.size() <= keyLen || line[keyLen] != ':')
+            continue;
+        return std::strtoull(line.c_str() + keyLen + 1, nullptr, 10);
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t
+currentRssKb()
+{
+    return procStatusKb("VmRSS");
+}
+
+std::uint64_t
+peakRssKb()
+{
+    return procStatusKb("VmHWM");
+}
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Retrying:
+        return "retrying";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+JsonValue
+JobTelemetry::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["id"] = JsonValue(id);
+    out["state"] = JsonValue(jobStateName(state));
+    out["attempts"] = JsonValue(attempts);
+    out["worker"] = JsonValue(worker);
+    out["wallMs"] = JsonValue(wallMs);
+    out["events"] = JsonValue(events);
+    out["rssAfterKb"] = JsonValue(rssAfterKb);
+    return out;
+}
+
+std::uint64_t
+SweepTelemetry::totalEvents() const
+{
+    std::uint64_t total = 0;
+    for (const JobTelemetry &j : jobs)
+        total += j.events;
+    return total;
+}
+
+std::size_t
+SweepTelemetry::failedJobs() const
+{
+    std::size_t n = 0;
+    for (const JobTelemetry &j : jobs)
+        n += j.state == JobState::Failed ? 1 : 0;
+    return n;
+}
+
+std::size_t
+SweepTelemetry::retriedJobs() const
+{
+    std::size_t n = 0;
+    for (const JobTelemetry &j : jobs)
+        n += j.attempts > 1 ? 1 : 0;
+    return n;
+}
+
+double
+SweepTelemetry::eventsPerSec() const
+{
+    return wallMs > 0.0
+               ? static_cast<double>(totalEvents()) * 1e3 / wallMs
+               : 0.0;
+}
+
+JsonValue
+SweepTelemetry::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["sweep"] = JsonValue(sweep);
+    out["workers"] = JsonValue(workers);
+    out["wallMs"] = JsonValue(wallMs);
+    out["peakRssKb"] = JsonValue(peakRssKb);
+    out["totalEvents"] = JsonValue(totalEvents());
+    out["eventsPerSec"] = JsonValue(eventsPerSec());
+    out["failed"] = JsonValue(failedJobs());
+    out["retried"] = JsonValue(retriedJobs());
+    JsonValue arr = JsonValue::array();
+    for (const JobTelemetry &j : jobs)
+        arr.push(j.toJson());
+    out["jobs"] = std::move(arr);
+    return out;
+}
+
+std::string
+SweepTelemetry::summaryLine() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %zu jobs (%zu failed, %zu retried) in %.1f s, "
+                  "%.2f Mevents/s, peak RSS %.1f MB",
+                  sweep.c_str(), jobs.size(), failedJobs(),
+                  retriedJobs(), wallMs / 1e3, eventsPerSec() / 1e6,
+                  static_cast<double>(peakRssKb) / 1024.0);
+    return buf;
+}
+
+} // namespace persim::exp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Live sweep telemetry: per-job state tracking, host RSS probes, and
+ * the machine-readable telemetry document behind persim_sweep's
+ * --progress / --telemetry-out flags.
+ *
+ * Telemetry is strictly host-side observability: it reads the
+ * simulation's outputs (events, wall clock) and /proc, never the
+ * simulated machine, so it cannot perturb determinism. It is also
+ * explicitly NON-deterministic (wall clock, RSS, worker ids) and so
+ * lives in its own document, never in the sweep JSON.
+ */
+
+#ifndef PERSIM_EXP_TELEMETRY_HH
+#define PERSIM_EXP_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+
+namespace persim::exp
+{
+
+/**
+ * Current resident-set size of this process in kB (VmRSS from
+ * /proc/self/status); 0 where /proc is unavailable.
+ */
+std::uint64_t currentRssKb();
+
+/**
+ * Peak resident-set size of this process in kB (VmHWM from
+ * /proc/self/status); 0 where /proc is unavailable.
+ */
+std::uint64_t peakRssKb();
+
+/** Lifecycle of one sweep job, as shown by --progress. */
+enum class JobState : unsigned char
+{
+    Queued,
+    Running,
+    Retrying,
+    Done,
+    Failed,
+};
+
+const char *jobStateName(JobState s);
+
+/** Telemetry for one finished job. */
+struct JobTelemetry
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    unsigned attempts = 0;
+    /** Worker thread that ran the job. */
+    unsigned worker = 0;
+    double wallMs = 0.0;
+    /** Simulated events executed (0 for failed jobs). */
+    std::uint64_t events = 0;
+    /** Process RSS right after the job finished, kB. */
+    std::uint64_t rssAfterKb = 0;
+
+    JsonValue toJson() const;
+};
+
+/** Telemetry for a whole sweep run (--telemetry-out document). */
+struct SweepTelemetry
+{
+    std::string sweep;
+    unsigned workers = 0;
+    double wallMs = 0.0;
+    std::uint64_t peakRssKb = 0;
+    std::vector<JobTelemetry> jobs;
+
+    std::uint64_t totalEvents() const;
+    std::size_t failedJobs() const;
+    std::size_t retriedJobs() const;
+
+    /** Simulated events per wall-clock second; 0 when wallMs is 0. */
+    double eventsPerSec() const;
+
+    JsonValue toJson() const;
+
+    /** One-line human summary for the end of a sweep. */
+    std::string summaryLine() const;
+};
+
+} // namespace persim::exp
+
+#endif // PERSIM_EXP_TELEMETRY_HH

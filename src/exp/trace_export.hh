@@ -2,12 +2,23 @@
  * @file
  * Chrome-tracing (Perfetto) export of captured simulator trace events.
  *
- * Records captured by a trace::Recorder become a JSON document in the
- * Chrome trace-event format: open it at chrome://tracing or
- * https://ui.perfetto.dev. Each simulated component ("persist.arbiter3",
- * "l1[0]", ...) becomes its own named track; every trace event becomes
- * an instant event at its simulated tick (rendered as microseconds, so
- * 1 us on the timeline = 1 core cycle).
+ * Everything captured by a trace::Recorder becomes a JSON document in
+ * the Chrome trace-event format: open it at chrome://tracing or
+ * https://ui.perfetto.dev. Each simulated component
+ * ("persist.arbiter[3]", "l1[0]", ...) becomes its own named track;
+ * ticks render as microseconds, so 1 us on the timeline = 1 core cycle.
+ *
+ * Three event classes are emitted:
+ *  - instant events (ph:"i") for plain tracef records;
+ *  - duration spans (ph:"B"/"E", or ph:"X" when zero-length) for epoch
+ *    lifecycles, flush drains, MSHR busy episodes, core execution, and
+ *    NVM write-queue residency — Chrome requires B/E to nest per track,
+ *    so overlapping spans of one component (concurrent epochs!) are
+ *    splayed onto greedily-allocated lanes ("persist.arbiter[0]",
+ *    "persist.arbiter[0] #2", ...); the lanes sit side by side and the
+ *    overlap reads directly off the UI;
+ *  - counter tracks (ph:"C") for the interval-stat samples (IPC,
+ *    epochs in flight, queue depths, link utilization).
  */
 
 #ifndef PERSIM_EXP_TRACE_EXPORT_HH
@@ -23,14 +34,30 @@ namespace persim::exp
 {
 
 /**
- * Write @p records as a complete Chrome trace-event JSON document.
+ * Write everything captured by @p rec (instants, duration spans,
+ * counter samples) as a complete Chrome trace-event JSON document.
  *
  * @param processName Shown as the process label in the UI (use the
  *                    job id, e.g. "fig11/hash/LB++").
  */
+void writeChromeTrace(std::ostream &os, const trace::Recorder &rec,
+                      const std::string &processName);
+
+/**
+ * Instants-only overload kept for callers that hold a bare record
+ * vector (no spans or counters).
+ */
 void writeChromeTrace(std::ostream &os,
                       const std::vector<trace::Record> &records,
                       const std::string &processName);
+
+/**
+ * Write counter samples as a CSV time series: one "tick" column plus
+ * one column per counter track (first-appearance order), one row per
+ * sample tick. Cells are blank for tracks without a sample at a tick.
+ */
+void writeCounterCsv(std::ostream &os,
+                     const std::vector<trace::Counter> &counters);
 
 } // namespace persim::exp
 

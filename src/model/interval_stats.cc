@@ -1,0 +1,96 @@
+#include "model/interval_stats.hh"
+
+#include "model/system.hh"
+#include "sim/trace.hh"
+
+namespace persim::model
+{
+
+IntervalSampler::IntervalSampler(System &sys, Tick window)
+    : _sys(sys),
+      _window(window > 0 ? window : 1),
+      _due(_window),
+      _group("interval"),
+      _ipc(&_group, "ipc", "committed ops per cycle, per window"),
+      _epochsInFlight(&_group, "epochsInFlight",
+                      "unpersisted epochs across all cores"),
+      _mshrOccupancy(&_group, "mshrOccupancy",
+                     "in-use L1 MSHR entries across all cores"),
+      _llcQueueDepth(&_group, "llcQueueDepth",
+                     "LLC lines with queued transactions"),
+      _nvmQueueDepth(&_group, "nvmQueueDepth",
+                     "NVM writes accepted but not yet durable"),
+      _nocLinkUtil(&_group, "nocLinkUtil",
+                   "fraction of NoC link-cycles busy, per window")
+{
+}
+
+void
+IntervalSampler::sample(Tick now)
+{
+    if (now <= _lastTick) {
+        // Degenerate window (e.g. final sample at the last window's
+        // edge): nothing elapsed, nothing to rate.
+        while (_due <= now)
+            _due += _window;
+        return;
+    }
+    const SystemConfig &cfg = _sys.config();
+    const double dt = static_cast<double>(now - _lastTick);
+
+    std::uint64_t ops = 0;
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        ops += _sys.core(static_cast<CoreId>(c)).committedOps();
+    const double ipc = static_cast<double>(ops - _lastOps) / dt;
+
+    double epochs = 0;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        // inflight() counts the always-open current epoch too; report
+        // it as-is so "1 per core" reads as the idle baseline.
+        epochs += static_cast<double>(
+            _sys.persistController()
+                .arbiter(static_cast<CoreId>(c))
+                .table()
+                .inflight());
+    }
+
+    double mshrs = 0;
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        mshrs += static_cast<double>(
+            _sys.l1(static_cast<CoreId>(c)).mshrOccupancy());
+
+    double llcQueue = 0;
+    for (unsigned b = 0; b < cfg.numCores; ++b)
+        llcQueue += static_cast<double>(_sys.bank(b).busyLines());
+
+    double nvmQueue = 0;
+    for (unsigned j = 0; j < cfg.numMemControllers; ++j)
+        nvmQueue += static_cast<double>(_sys.mc(j).outstandingWrites());
+
+    const std::uint64_t linkBusy = _sys.mesh().totalLinkBusyCycles();
+    const double linkUtil =
+        static_cast<double>(linkBusy - _lastLinkBusy) /
+        (dt * static_cast<double>(_sys.mesh().numLinks()));
+
+    _ipc.sample(ipc);
+    _epochsInFlight.sample(epochs);
+    _mshrOccupancy.sample(mshrs);
+    _llcQueueDepth.sample(llcQueue);
+    _nvmQueueDepth.sample(nvmQueue);
+    _nocLinkUtil.sample(linkUtil);
+
+    trace::counter(now, "ipc", ipc);
+    trace::counter(now, "epochsInFlight", epochs);
+    trace::counter(now, "mshrOccupancy", mshrs);
+    trace::counter(now, "llcQueueDepth", llcQueue);
+    trace::counter(now, "nvmQueueDepth", nvmQueue);
+    trace::counter(now, "nocLinkUtil", linkUtil);
+
+    _lastTick = now;
+    _lastOps = ops;
+    _lastLinkBusy = linkBusy;
+    while (_due <= now)
+        _due += _window;
+}
+
+} // namespace persim::model

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Windowed interval statistics: time-series sampling of a running
+ * System for the observability layer.
+ *
+ * The sampler is driven from System::run's event loop (checked after
+ * every executed event), NOT from scheduled events: a periodic
+ * self-rescheduling event would keep the queue non-empty (the run loop
+ * exits on drain) and change the event count in the deterministic
+ * sweep JSON. Polling the loop costs one compare per event and leaves
+ * the simulated machine completely untouched.
+ *
+ * Each window emits one sample per series to the thread's attached
+ * trace::Recorder (rendered as Chrome ph:"C" counter tracks and as a
+ * CSV time series) and folds it into a Distribution, so end-of-run
+ * stats gain "interval.*" percentile summaries of the same series.
+ */
+
+#ifndef PERSIM_MODEL_INTERVAL_STATS_HH
+#define PERSIM_MODEL_INTERVAL_STATS_HH
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace persim::model
+{
+
+class System;
+
+/**
+ * Samples a System every @p window ticks while it runs.
+ *
+ * Series (one counter track + one Distribution each):
+ *  - ipc: committed ops across all cores per cycle in the window;
+ *  - epochsInFlight: unpersisted epochs summed over all cores;
+ *  - mshrOccupancy: in-use L1 MSHR entries, all cores;
+ *  - llcQueueDepth: LLC lines with a queued transaction, all banks;
+ *  - nvmQueueDepth: accepted-but-not-durable NVM writes, all MCs;
+ *  - nocLinkUtil: fraction of link-cycles busy in the window.
+ */
+class IntervalSampler
+{
+  public:
+    IntervalSampler(System &sys, Tick window);
+
+    /** Next tick at or after which sample() should run. */
+    Tick nextDue() const { return _due; }
+
+    /** Take one sample at @p now and advance the window. */
+    void sample(Tick now);
+
+    const StatGroup &stats() const { return _group; }
+
+  private:
+    System &_sys;
+    Tick _window;
+    Tick _due;
+    Tick _lastTick = 0;
+    std::uint64_t _lastOps = 0;
+    std::uint64_t _lastLinkBusy = 0;
+
+    StatGroup _group;
+    Distribution _ipc;
+    Distribution _epochsInFlight;
+    Distribution _mshrOccupancy;
+    Distribution _llcQueueDepth;
+    Distribution _nvmQueueDepth;
+    Distribution _nocLinkUtil;
+};
+
+} // namespace persim::model
+
+#endif // PERSIM_MODEL_INTERVAL_STATS_HH

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace persim::model
 {
@@ -114,6 +115,16 @@ System::run()
     _ran = true;
     buildCores();
 
+    // Interval sampling exists only when this thread is tracing with a
+    // counter window: it rides the run loop (no events, no queue
+    // residue), so the untraced machine is bit-for-bit unaffected.
+    if (trace::Recorder *rec = trace::current();
+        rec && rec->counterWindow() > 0) {
+        _sampler =
+            std::make_unique<IntervalSampler>(*this,
+                                              rec->counterWindow());
+    }
+
     SimResult res;
     unsigned running = _cfg.numCores;
     bool drained = false;
@@ -132,10 +143,21 @@ System::run()
     }
 
     std::uint64_t events = 0;
-    while (!_eq.empty() && events < _cfg.maxEvents &&
-           _eq.now() <= _cfg.maxTicks) {
-        _eq.runNext();
-        ++events;
+    if (_sampler) {
+        while (!_eq.empty() && events < _cfg.maxEvents &&
+               _eq.now() <= _cfg.maxTicks) {
+            _eq.runNext();
+            ++events;
+            if (_eq.now() >= _sampler->nextDue())
+                _sampler->sample(_eq.now());
+        }
+        _sampler->sample(_eq.now()); // close the trailing window
+    } else {
+        while (!_eq.empty() && events < _cfg.maxEvents &&
+               _eq.now() <= _cfg.maxTicks) {
+            _eq.runNext();
+            ++events;
+        }
     }
     res.events = events;
 
@@ -175,6 +197,8 @@ System::stats()
         b->stats().toMap(out);
     for (auto &c : _cores)
         c->stats().toMap(out);
+    if (_sampler)
+        _sampler->stats().toMap(out);
     return out;
 }
 
@@ -192,6 +216,8 @@ System::statGroups() const
         out.push_back(&b->stats());
     for (auto &c : _cores)
         out.push_back(&c->stats());
+    if (_sampler)
+        out.push_back(&_sampler->stats());
     return out;
 }
 
@@ -217,6 +243,8 @@ System::dumpStats(std::ostream &os)
         b->stats().dump(os);
     for (auto &c : _cores)
         c->stats().dump(os);
+    if (_sampler)
+        _sampler->stats().dump(os);
 }
 
 } // namespace persim::model

@@ -28,6 +28,7 @@
 #include "cache/llc_bank.hh"
 #include "cpu/core.hh"
 #include "cpu/workload_iface.hh"
+#include "model/interval_stats.hh"
 #include "model/ordering_checker.hh"
 #include "model/system_config.hh"
 #include "noc/mesh.hh"
@@ -133,6 +134,8 @@ class System
     std::vector<std::unique_ptr<cache::LlcBank>> _banks;
     std::vector<std::unique_ptr<cpu::Workload>> _workloads;
     std::vector<std::unique_ptr<cpu::Core>> _cores;
+    /** Present only while tracing with a counter window (see run()). */
+    std::unique_ptr<IntervalSampler> _sampler;
     bool _ran = false;
 };
 

@@ -26,7 +26,7 @@ class Link
 {
   public:
     /**
-     * @param name Instance name for stats, e.g. "mesh.r3.east".
+     * @param name Instance name for stats, e.g. "mesh.router[3].east".
      * @param group Stat group to register utilization counters with.
      */
     Link(std::string name, StatGroup *group);

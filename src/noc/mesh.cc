@@ -21,8 +21,9 @@ Mesh::Mesh(const std::string &name, EventQueue &eq, const MeshConfig &cfg)
     for (unsigned y = 0; y < cfg.rows; ++y) {
         for (unsigned x = 0; x < cfg.cols; ++x) {
             _routers.push_back(std::make_unique<Router>(
-                name + ".r" + std::to_string(y * cfg.cols + x), &_stats,
-                x, y));
+                name + ".router[" + std::to_string(y * cfg.cols + x) +
+                    "]",
+                &_stats, x, y));
         }
     }
 }
@@ -37,6 +38,17 @@ Mesh::attach(unsigned nodeId, unsigned x, unsigned y)
     simAssert(!_nodes[nodeId].attached, "node ", nodeId,
               " attached twice");
     _nodes[nodeId] = NodeLoc{true, x, y};
+}
+
+std::uint64_t
+Mesh::totalLinkBusyCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &router : _routers) {
+        for (unsigned d = 0; d < kNumDirections; ++d)
+            total += router->out(static_cast<Direction>(d)).busyCycles();
+    }
+    return total;
 }
 
 unsigned

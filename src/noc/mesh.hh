@@ -80,6 +80,15 @@ class Mesh : public SimObject
     /** Total packets injected. */
     std::uint64_t packetsSent() const { return _packets.value(); }
 
+    /** Sum of busy cycles over every link (interval-stat sampling). */
+    std::uint64_t totalLinkBusyCycles() const;
+
+    /** Number of links (routers x directions). */
+    unsigned numLinks() const
+    {
+        return _cfg.rows * _cfg.cols * kNumDirections;
+    }
+
   private:
     Router &routerAt(unsigned x, unsigned y)
     {

@@ -39,7 +39,7 @@ class Router
 {
   public:
     /**
-     * @param name Instance name, e.g. "mesh.r12".
+     * @param name Instance name, e.g. "mesh.router[12]".
      * @param group Stat group for the router's links.
      * @param x Column coordinate in the mesh.
      * @param y Row coordinate in the mesh.
@@ -52,6 +52,10 @@ class Router
 
     /** Output link in direction @p d. */
     Link &out(Direction d) { return *_out[static_cast<unsigned>(d)]; }
+    const Link &out(Direction d) const
+    {
+        return *_out[static_cast<unsigned>(d)];
+    }
 
   private:
     unsigned _x;

@@ -1,6 +1,7 @@
 #include "nvm/memory_controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace persim::nvm
 {
@@ -30,9 +31,17 @@ MemoryController::handleWrite(WriteReq req)
         _logWrites.inc();
     if (durable > _lastDurable)
         _lastDurable = durable;
+    if (++_outstandingWrites == 1 && trace::probing()) [[unlikely]]
+        _wqBusySince = now;
 
     scheduleIn(durable - now,
                [this, req = std::move(req), durable]() mutable {
+        if (--_outstandingWrites == 0 && trace::probing() &&
+            _wqBusySince != kTickNever) [[unlikely]] {
+            trace::span(_wqBusySince, curTick(), name(), "write queue",
+                        "NvmQ");
+            _wqBusySince = kTickNever;
+        }
         if (_observer) {
             _observer->onPersist(durable, req.addr, req.core, req.epoch,
                                  req.isLog);

@@ -84,12 +84,18 @@ class MemoryController : public SimObject
      */
     Tick lastDurableTick() const { return _lastDurable; }
 
+    /** Writes accepted but not yet durable (interval-stat sampling). */
+    unsigned outstandingWrites() const { return _outstandingWrites; }
+
   private:
     StatGroup _stats;
     noc::NetworkInterface _ni;
     Nvram _nvram;
     PersistObserver *_observer = nullptr;
     Tick _lastDurable = 0;
+    unsigned _outstandingWrites = 0;
+    /** Start of the current non-empty write-queue residency episode. */
+    Tick _wqBusySince = kTickNever;
 
     Scalar _persistAcks;
     Scalar _logWrites;

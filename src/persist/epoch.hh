@@ -112,6 +112,12 @@ struct Epoch
     /** Total stores executed in this epoch (stats / BSP sizing). */
     std::uint64_t storeCount = 0;
 
+    /** Tick the epoch opened (observability: epoch-lifecycle span). */
+    Tick openTick = 0;
+
+    /** Tick the arbiter started flushing it; kTickNever until then. */
+    Tick flushStartTick = kTickNever;
+
     /**
      * Reinitialize this record for a fresh epoch @p newId.
      *
@@ -140,6 +146,8 @@ struct Epoch
         closeWaiters.clear();
         pullsSent.clear();
         storeCount = 0;
+        openTick = 0;
+        flushStartTick = kTickNever;
     }
 
     bool ongoing() const { return state == EpochState::Ongoing; }

@@ -92,7 +92,7 @@ EpochArbiter::barrier(InlineCallback cont)
         demandHeadroom(FlushCause::Barrier);
         return;
     }
-    Epoch &prefix = _table.closeCurrentAndOpen();
+    Epoch &prefix = _table.closeCurrentAndOpen(curTick());
     const EpochId prefixId = prefix.id;
     auto closeWaiters = std::move(prefix.closeWaiters);
     maybeComplete(prefix);
@@ -119,7 +119,7 @@ EpochArbiter::drain(InlineCallback cont)
             demandHeadroom(FlushCause::Drain);
             return;
         }
-        Epoch &prefix = _table.closeCurrentAndOpen();
+        Epoch &prefix = _table.closeCurrentAndOpen(curTick());
         auto closeWaiters = std::move(prefix.closeWaiters);
         maybeComplete(prefix);
         for (auto &w : closeWaiters)
@@ -181,7 +181,7 @@ EpochArbiter::splitNow(FlushCause cause,
         demandHeadroom(cause);
         return;
     }
-    Epoch &prefix = _table.closeCurrentAndOpen();
+    Epoch &prefix = _table.closeCurrentAndOpen(curTick());
     ++statSplits;
     const EpochId prefixId = prefix.id;
     tracef("Epoch", *this, "split: prefix ", prefixId, ", remainder ",
@@ -337,7 +337,7 @@ EpochArbiter::startFlush(Epoch &e)
     simAssert(e.flushesInFlight == 0, name(),
               ": in-flight flushes before the flush started");
     e.state = EpochState::Flushing;
-    _flushStartTick = curTick();
+    e.flushStartTick = curTick();
     if (e.flushCause == FlushCause::None)
         e.flushCause = FlushCause::Proactive;
     tracef("Flush", *this, "flush of epoch ", e.id, " starts (",
@@ -425,6 +425,10 @@ EpochArbiter::beginBankPhase(Epoch &e)
     const Tick ready = _l1->flushLines(lines,
                                        _pc.config().invalidatingFlush,
                                        _pc.config().flushIssueInterval);
+    if (trace::probing()) [[unlikely]] {
+        trace::span(curTick(), ready, _l1->name(),
+                    "flush walk e" + std::to_string(e.id), "Flush");
+    }
     // Step 2: broadcast FlushEpoch once the walk has drained.
     e.bankAcksPending = _pc.numBanks();
     const EpochId id = e.id;
@@ -507,7 +511,17 @@ EpochArbiter::declarePersisted(Epoch &e)
     if (e.conflicted)
         ++statEpochsConflicted;
     statFlushLatency.sample(static_cast<double>(curTick() -
-                                                _flushStartTick));
+                                                e.flushStartTick));
+    if (trace::probing()) [[unlikely]] {
+        // The whole lifecycle (open .. persisted) and the flush phase
+        // within it; recorded at close, when both endpoints are known.
+        trace::span(e.openTick, curTick(), name(),
+                    "epoch " + std::to_string(e.id), "Epoch");
+        if (e.flushStartTick != kTickNever) {
+            trace::span(e.flushStartTick, curTick(), name(),
+                        "flush " + std::to_string(e.id), "Flush");
+        }
+    }
 
     const EpochId id = e.id;
     const CoreId core = _core;

@@ -222,9 +222,6 @@ class EpochArbiter : public SimObject
     Scalar statLogWrites;
     Distribution statEpochLines;
     Distribution statFlushLatency;
-
-  private:
-    Tick _flushStartTick = 0;
 };
 
 } // namespace persim::persist

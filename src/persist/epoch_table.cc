@@ -34,7 +34,7 @@ EpochTable::at(EpochId id)
 }
 
 Epoch &
-EpochTable::closeCurrentAndOpen()
+EpochTable::closeCurrentAndOpen(Tick now)
 {
     simAssert(canOpen(), "core ", _core,
               ": epoch window full; caller must stall");
@@ -43,6 +43,7 @@ EpochTable::closeCurrentAndOpen()
     prefix.closed = true;
     const EpochId id = _nextId++;
     slot(id).reset(id);
+    slot(id).openTick = now;
     return prefix;
 }
 

@@ -83,9 +83,11 @@ class EpochTable
      * Close the current epoch (persist barrier / BSP boundary / split)
      * and open the next one. Requires canOpen().
      *
+     * @param now Current tick, stamped on the new epoch as openTick
+     *            (observability: the epoch-lifecycle span opens here).
      * @return The newly closed epoch (the prefix).
      */
-    Epoch &closeCurrentAndOpen();
+    Epoch &closeCurrentAndOpen(Tick now = 0);
 
     /**
      * Retire leading Persisted epochs from the window.

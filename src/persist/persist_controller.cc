@@ -41,7 +41,7 @@ PersistController::PersistController(const std::string &name,
     _arbiters.reserve(numCores);
     for (unsigned c = 0; c < numCores; ++c) {
         _arbiters.push_back(std::make_unique<EpochArbiter>(
-            name + ".arbiter" + std::to_string(c), eq, *this,
+            name + ".arbiter[" + std::to_string(c) + "]", eq, *this,
             static_cast<CoreId>(c)));
     }
 }

@@ -42,7 +42,15 @@ state()
     return s;
 }
 
+} // namespace
+
+namespace detail
+{
+
 thread_local Recorder *tlRecorder = nullptr;
+
+// Dynamic-initialized before main(); probes only run at runtime.
+const bool envAny = state().any;
 
 bool
 envEnabled(const char *flag)
@@ -51,9 +59,10 @@ envEnabled(const char *flag)
     return s.any && (s.all || s.flags.contains(flag));
 }
 
-} // namespace
+} // namespace detail
 
-Recorder::Recorder(const std::string &flagsCsv)
+Recorder::Recorder(const std::string &flagsCsv, Tick counterWindow)
+    : _counterWindow(counterWindow)
 {
     std::stringstream ss(flagsCsv);
     std::string flag;
@@ -80,30 +89,23 @@ Recorder::wants(const char *flag) const
 void
 attachRecorder(Recorder *r)
 {
-    tlRecorder = r;
+    detail::tlRecorder = r;
 }
 
 void
 detachRecorder()
 {
-    tlRecorder = nullptr;
-}
-
-bool
-enabled(const char *flag)
-{
-    if (tlRecorder && tlRecorder->wants(flag))
-        return true;
-    return envEnabled(flag);
+    detail::tlRecorder = nullptr;
 }
 
 void
 emit(const char *flag, Tick when, const std::string &who,
      const std::string &message)
 {
-    if (tlRecorder && tlRecorder->wants(flag)) {
-        tlRecorder->add(Record{when, flag, who, message});
-        if (!envEnabled(flag))
+    Recorder *rec = detail::tlRecorder;
+    if (rec && rec->wants(flag)) {
+        rec->add(Record{when, flag, who, message});
+        if (!detail::envEnabled(flag))
             return;
     }
     std::fprintf(stderr, "%10llu: %s: %s: %s\n",

@@ -145,7 +145,7 @@ TEST(IntegrationSmoke, BspBulkModeWithLogging)
     EXPECT_TRUE(res.violations.empty())
         << "first violation: " << res.violations.front();
     auto stats = sys.stats();
-    EXPECT_GT(stats["persist.arbiter0.logWrites"], 0.0);
+    EXPECT_GT(stats["persist.arbiter[0].logWrites"], 0.0);
 }
 
 } // namespace persim

@@ -77,7 +77,7 @@ TEST(PersistProtocol, SingleEpochFlushHandshake)
 
     auto stats = sys.stats();
     // The epoch (and the trailing drain epoch bookkeeping) persisted.
-    EXPECT_GE(stats["persist.arbiter0.epochsPersisted"], 1.0);
+    EXPECT_GE(stats["persist.arbiter[0].epochsPersisted"], 1.0);
     // Every bank saw the FlushEpoch broadcast of the non-trivial epoch.
     double flushMsgs = 0, bankAcks = 0, cmps = 0;
     for (unsigned b = 0; b < cfg.numCores; ++b) {
@@ -114,7 +114,7 @@ TEST(PersistProtocol, IntraThreadConflictFlushesOlderEpoch)
     auto stats = sys.stats();
     EXPECT_EQ(stats["persist.intraConflicts"], 1.0);
     EXPECT_EQ(stats["persist.interConflicts"], 0.0);
-    EXPECT_GE(stats["persist.arbiter0.flushIntra"], 1.0);
+    EXPECT_GE(stats["persist.arbiter[0].flushIntra"], 1.0);
 }
 
 TEST(PersistProtocol, ReadsNeverConflictIntraThread)
@@ -179,7 +179,7 @@ TEST(PersistProtocol, IdtAbsorbsInterThreadConflict)
     EXPECT_TRUE(res.violations.empty());
     auto stats = sys.stats();
     EXPECT_GE(stats["persist.idtResolutions"], 1.0);
-    EXPECT_GE(stats["persist.arbiter1.idtDepsRecorded"], 1.0);
+    EXPECT_GE(stats["persist.arbiter[1].idtDepsRecorded"], 1.0);
 }
 
 TEST(PersistProtocol, WriteWriteSharingStealsIncarnation)
@@ -257,8 +257,8 @@ TEST(PersistProtocol, Figure5AvoidedBySplitting)
     ASSERT_TRUE(res.completed);
     EXPECT_TRUE(res.violations.empty());
     auto stats = sys.stats();
-    EXPECT_GE(stats["persist.arbiter0.splits"] +
-                  stats["persist.arbiter1.splits"],
+    EXPECT_GE(stats["persist.arbiter[0].splits"] +
+                  stats["persist.arbiter[1].splits"],
               1.0);
 }
 
@@ -279,8 +279,8 @@ TEST(PersistProtocol, EpochWindowBackpressure)
     ASSERT_TRUE(res.completed);
     EXPECT_TRUE(res.violations.empty());
     auto stats = sys.stats();
-    EXPECT_GE(stats["persist.arbiter0.barrierStalls"], 1.0);
-    EXPECT_GE(stats["persist.arbiter0.epochsPersisted"], 12.0);
+    EXPECT_GE(stats["persist.arbiter[0].barrierStalls"], 1.0);
+    EXPECT_GE(stats["persist.arbiter[0].epochsPersisted"], 12.0);
 }
 
 TEST(PersistProtocol, InvalidatingFlushDropsLines)
@@ -364,10 +364,10 @@ TEST(PersistProtocol, BspLogsPersistBeforeData)
     auto stats = sys.stats();
     double logs = 0, ckpts = 0;
     for (unsigned c = 0; c < 4; ++c) {
-        logs += stats["persist.arbiter" + std::to_string(c) +
-                      ".logWrites"];
-        ckpts += stats["persist.arbiter" + std::to_string(c) +
-                       ".checkpointLines"];
+        logs += stats["persist.arbiter[" + std::to_string(c) +
+                      "].logWrites"];
+        ckpts += stats["persist.arbiter[" + std::to_string(c) +
+                       "].checkpointLines"];
     }
     EXPECT_GT(logs, 0.0);
     EXPECT_GT(ckpts, 0.0);
@@ -389,7 +389,7 @@ TEST(PersistProtocol, DrainLeavesNoUnpersistedState)
     EXPECT_TRUE(res.violations.empty());
     EXPECT_GT(res.drainTicks, res.execTicks);
     auto stats = sys.stats();
-    EXPECT_GE(stats["persist.arbiter0.flushDrain"], 1.0);
+    EXPECT_GE(stats["persist.arbiter[0].flushDrain"], 1.0);
 }
 
 } // namespace persim

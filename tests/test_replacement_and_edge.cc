@@ -70,7 +70,7 @@ TEST(ReplacementConflict, TaggedLlcVictimForcesEpochFlush)
     auto stats = sys.stats();
     EXPECT_GT(stats["persist.replacementConflicts"], 0.0);
     // Replacement conflicts against the open epoch force splits.
-    EXPECT_GT(stats["persist.arbiter0.splits"], 0.0);
+    EXPECT_GT(stats["persist.arbiter[0].splits"], 0.0);
 }
 
 TEST(ReplacementConflict, VictimAvoidanceReducesConflicts)
@@ -133,8 +133,8 @@ TEST(IdtOverflow, FallsBackToOnlineFlush)
     auto stats = sys.stats();
     double overflows = 0;
     for (unsigned c = 0; c < 4; ++c)
-        overflows += stats["persist.arbiter" + std::to_string(c) +
-                           ".idtOverflows"];
+        overflows += stats["persist.arbiter[" + std::to_string(c) +
+                           "].idtOverflows"];
     EXPECT_GT(overflows, 0.0);
 }
 
@@ -184,7 +184,7 @@ TEST(BspEdge, TinyEpochsStressTheWindow)
     EXPECT_TRUE(res.violations.empty())
         << "first: " << res.violations.front();
     auto stats = sys.stats();
-    EXPECT_GT(stats["persist.arbiter0.barrierStalls"], 0.0);
+    EXPECT_GT(stats["persist.arbiter[0].barrierStalls"], 0.0);
 }
 
 TEST(BspEdge, CheckpointLinesScaleWithEpochs)
@@ -202,8 +202,8 @@ TEST(BspEdge, CheckpointLinesScaleWithEpochs)
     auto stats = sys.stats();
     // 64 stores / 16-per-epoch = 4 boundaries (+1 drain tail), each
     // writing 16 checkpoint lines.
-    EXPECT_GE(stats["persist.arbiter0.checkpointLines"], 4 * 16.0);
-    EXPECT_GE(stats["persist.arbiter0.logWrites"], 64.0);
+    EXPECT_GE(stats["persist.arbiter[0].checkpointLines"], 4 * 16.0);
+    EXPECT_GE(stats["persist.arbiter[0].logWrites"], 64.0);
 }
 
 TEST(SpWriteThrough, EveryStoreReachesNvram)

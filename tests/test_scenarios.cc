@@ -165,7 +165,7 @@ TEST(Scenario, IdtPullFlushesAnIdleSource)
     EXPECT_GE(stats["persist.idtResolutions"], 1.0);
     // Core 1's epoch was flushed with an inter-thread attribution even
     // though core 1 itself never conflicted again (the pull).
-    EXPECT_GE(stats["persist.arbiter1.flushInter"], 1.0);
+    EXPECT_GE(stats["persist.arbiter[1].flushInter"], 1.0);
 }
 
 TEST(Scenario, LoadForwardingStillOrdersPersists)
@@ -209,7 +209,7 @@ TEST(Scenario, BspEpochBoundariesFollowStoreCount)
     auto stats = sys.stats();
     // 40 stores at 8 per epoch: 5 hardware barriers.
     EXPECT_EQ(stats["core[0].barriers"], 5.0);
-    EXPECT_GE(stats["persist.arbiter0.epochsPersisted"], 5.0);
+    EXPECT_GE(stats["persist.arbiter[0].epochsPersisted"], 5.0);
 }
 
 } // namespace persim

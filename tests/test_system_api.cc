@@ -122,7 +122,7 @@ TEST(System, StatsMapCoversEveryComponent)
     auto stats = sys.stats();
     for (const char *key :
          {"mesh.packets", "persist.intraConflicts",
-          "persist.arbiter0.epochsPersisted", "mc[0].persistAcks",
+          "persist.arbiter[0].epochsPersisted", "mc[0].persistAcks",
           "mc[0].nvram.writes", "l1[0].loads", "l1[0].stores",
           "llc[0].requests", "core[0].ops", "core[0].barriers"}) {
         EXPECT_TRUE(stats.contains(key)) << "missing stat " << key;

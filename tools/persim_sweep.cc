@@ -59,6 +59,20 @@ usage(const char *argv0)
         "  --trace-job ID    which job to trace (default: first);\n"
         "                    ID is \"<workload>/<config>/s<seed>\"\n"
         "  --trace-flags F   comma-separated trace flags (default all)\n"
+        "  --interval N      interval-stat window in ticks for the "
+        "traced job\n"
+        "                    (default 5000; needs --trace)\n"
+        "  --interval-csv F  write the interval counter samples as CSV\n"
+        "  --shard K/N       run only round-robin shard K of N (1-based);"
+        "\n"
+        "                    merge shard outputs with jq -s (see "
+        "tools/README.md)\n"
+        "  --progress        live one-line telemetry to stderr while "
+        "running\n"
+        "  --telemetry-out F write host telemetry JSON (per-job state, "
+        "RSS,\n"
+        "                    events/sec; separate from deterministic "
+        "output)\n"
         "  --list            print the job grid and exit\n"
         "  --quiet           no per-job progress lines\n"
         "  --help\n",
@@ -84,8 +98,15 @@ main(int argc, char **argv)
     std::string traceJob;
     std::string traceFlags = "all";
     std::string onlyPattern;
+    std::string telemetryFile;
+    std::string intervalCsvFile;
+    unsigned shardIndex = 1;
+    unsigned shardCount = 1;
+    Tick intervalTicks = 0;
+    bool intervalSet = false;
     bool includeStats = true;
     bool listOnly = false;
+    bool liveProgress = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +146,28 @@ main(int argc, char **argv)
             includeStats = false;
         else if (arg == "--only")
             onlyPattern = value("--only");
+        else if (arg == "--shard") {
+            const std::string v = value("--shard");
+            if (std::sscanf(v.c_str(), "%u/%u", &shardIndex,
+                            &shardCount) != 2 ||
+                shardCount == 0 || shardIndex == 0 ||
+                shardIndex > shardCount) {
+                std::fprintf(stderr,
+                             "--shard wants K/N with 1 <= K <= N, got "
+                             "'%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (arg == "--progress")
+            liveProgress = true;
+        else if (arg == "--telemetry-out")
+            telemetryFile = value("--telemetry-out");
+        else if (arg == "--interval") {
+            intervalTicks = std::strtoull(value("--interval").c_str(),
+                                          nullptr, 10);
+            intervalSet = true;
+        } else if (arg == "--interval-csv")
+            intervalCsvFile = value("--interval-csv");
         else if (arg == "--trace")
             traceFile = value("--trace");
         else if (arg == "--trace-job")
@@ -172,6 +215,19 @@ main(int argc, char **argv)
             }
         }
 
+        if (shardCount > 1) {
+            const std::size_t before = sweep.jobs.size();
+            sweep.shard(shardIndex, shardCount);
+            std::fprintf(stderr, "shard %u/%u: %zu of %zu jobs\n",
+                         shardIndex, shardCount, sweep.jobs.size(),
+                         before);
+            if (sweep.jobs.empty()) {
+                std::fprintf(stderr, "shard %u/%u is empty\n",
+                             shardIndex, shardCount);
+                return 2;
+            }
+        }
+
         if (listOnly) {
             for (const auto &spec : sweep.jobs)
                 std::printf("%s/%s\n", sweep.name.c_str(),
@@ -183,9 +239,16 @@ main(int argc, char **argv)
         opts.jobs = jobs;
         opts.maxAttempts = 1 + retries;
         opts.progress = !quiet;
+        opts.liveProgress = liveProgress;
         if (!traceFile.empty()) {
             opts.traceFlags = traceFlags;
             opts.traceJobId = traceJob;
+            // Counter sampling rides the trace capture: default to a
+            // 5000-tick window unless --interval says otherwise.
+            opts.counterWindow = intervalSet ? intervalTicks : 5000;
+        } else if (intervalSet && intervalTicks > 0) {
+            std::fprintf(stderr,
+                         "--interval has no effect without --trace\n");
         }
 
         std::fprintf(stderr, "%s: %zu jobs, %u worker(s)\n",
@@ -196,12 +259,19 @@ main(int argc, char **argv)
         std::size_t failed = 0;
         for (const auto &o : outcomes)
             failed += o.ok ? 0 : 1;
-        std::fprintf(stderr, "%s: done in %.1f s (%zu/%zu ok)\n",
-                     sweep.name.c_str(), runner.wallMs() / 1000.0,
-                     outcomes.size() - failed, outcomes.size());
+        std::fprintf(stderr, "%s\n",
+                     runner.telemetry().summaryLine().c_str());
 
         exp::JsonValue doc = exp::sweepToJson(sweep, outcomes,
                                               includeStats);
+        if (shardCount > 1) {
+            // Mark shard membership so merged documents stay
+            // self-describing; unsharded output is unchanged.
+            exp::JsonValue sh = exp::JsonValue::object();
+            sh["index"] = exp::JsonValue(shardIndex);
+            sh["count"] = exp::JsonValue(shardCount);
+            doc["shard"] = std::move(sh);
+        }
         const exp::FigureTable table = exp::figureTable(figure, outcomes);
         doc["table"] = exp::figureTableToJson(table);
 
@@ -227,23 +297,57 @@ main(int argc, char **argv)
             std::string traced = traceJob.empty() && !sweep.jobs.empty()
                                      ? sweep.jobs.front().id()
                                      : traceJob;
-            exp::writeChromeTrace(os, runner.traceRecords(),
+            exp::writeChromeTrace(os, *runner.recorder(),
                                   sweep.name + "/" + traced);
-            std::fprintf(stderr, "wrote %s (%zu events)\n",
+            std::fprintf(stderr,
+                         "wrote %s (%zu events, %zu spans, %zu counter "
+                         "samples)\n",
                          traceFile.c_str(),
-                         runner.traceRecords().size());
+                         runner.recorder()->records().size(),
+                         runner.recorder()->spans().size(),
+                         runner.recorder()->counters().size());
+        }
+        if (!intervalCsvFile.empty()) {
+            std::ofstream os(intervalCsvFile);
+            if (!os)
+                fatal("cannot write ", intervalCsvFile);
+            static const std::vector<trace::Counter> kNoCounters;
+            const auto &counters = runner.recorder()
+                                       ? runner.recorder()->counters()
+                                       : kNoCounters;
+            exp::writeCounterCsv(os, counters);
+            std::fprintf(stderr, "wrote %s (%zu samples)\n",
+                         intervalCsvFile.c_str(), counters.size());
+        }
+        if (!telemetryFile.empty()) {
+            std::ofstream os(telemetryFile);
+            if (!os)
+                fatal("cannot write ", telemetryFile);
+            runner.telemetry().toJson().write(os, 2);
+            os << '\n';
+            std::fprintf(stderr, "wrote %s\n", telemetryFile.c_str());
         }
         if (!timingFile.empty()) {
+            const exp::SweepTelemetry &tel = runner.telemetry();
             exp::JsonValue timing = exp::JsonValue::object();
             timing["sweep"] = exp::JsonValue(sweep.name);
             timing["workers"] = exp::JsonValue(jobs);
             timing["jobCount"] = exp::JsonValue(outcomes.size());
             timing["wallMs"] = exp::JsonValue(runner.wallMs());
+            timing["peakRssKb"] = exp::JsonValue(tel.peakRssKb);
+            timing["totalEvents"] = exp::JsonValue(tel.totalEvents());
+            timing["eventsPerSec"] = exp::JsonValue(tel.eventsPerSec());
             exp::JsonValue perJob = exp::JsonValue::array();
-            for (const auto &o : outcomes) {
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                const auto &o = outcomes[i];
                 exp::JsonValue j = exp::JsonValue::object();
                 j["id"] = exp::JsonValue(o.spec.id());
                 j["wallMs"] = exp::JsonValue(o.wallMs);
+                if (i < tel.jobs.size()) {
+                    j["events"] = exp::JsonValue(tel.jobs[i].events);
+                    j["rssAfterKb"] =
+                        exp::JsonValue(tel.jobs[i].rssAfterKb);
+                }
                 perJob.push(std::move(j));
             }
             timing["jobs"] = std::move(perJob);
