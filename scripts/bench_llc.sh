@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_llc.json: the LLC-bank hot-path benchmark.
+#
+# Times the Figure 14 LB column (9 workloads x LB config, 32 cores,
+# 20000 ops — the heaviest eviction/flush traffic in the figure grid)
+# through persim_sweep, 3 repetitions, reporting the minimum wall-clock
+# and the peak RSS from --timing-out. Byte-compares the --no-stats JSON
+# across repetitions — and, when a baseline is given, across binaries —
+# because the flattened bank structures must not change simulated
+# behaviour, only host time and footprint.
+#
+# To record a before/after pair, point BASELINE_BUILD at a build of the
+# pre-change tree (its persim_sweep must support --only and
+# --timing-out); the script times both binaries back to back and
+# computes the speedup and RSS ratio. Without BASELINE_BUILD only the
+# current build is timed.
+#
+# Usage: [BASELINE_BUILD=path] scripts/bench_llc.sh [build-dir] [out-file]
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-BENCH_llc.json}
+reps=${REPS:-3}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+find_sweep() { # find_sweep <build-dir-or-binary>
+    if [ -x "$1/tools/persim_sweep" ]; then echo "$1/tools/persim_sweep"
+    elif [ -x "$1/persim_sweep" ]; then echo "$1/persim_sweep"
+    else echo "$1"; fi
+}
+
+run_cell() { # run_cell <build-dir-or-binary> <tag>
+    local sweep tag=$2 i
+    sweep=$(find_sweep "$1")
+    [ -x "$sweep" ] || { echo "error: $sweep not built" >&2; exit 1; }
+    for i in $(seq 1 "$reps"); do
+        echo "[$tag] fig14 LB column, rep $i/$reps ..." >&2
+        "$sweep" --figure 14 --only /LB/ --jobs 1 --quiet --no-stats \
+            --out "$tmp/$tag.$i.json" \
+            --timing-out "$tmp/$tag.$i.timing.json" >/dev/null
+        cmp -s "$tmp/$tag.1.json" "$tmp/$tag.$i.json" \
+            || { echo "error: rep $i output differs (nondeterminism)" >&2
+                 exit 1; }
+    done
+}
+
+run_cell "$build" after
+if [ -n "${BASELINE_BUILD:-}" ]; then
+    run_cell "$BASELINE_BUILD" before
+    cmp -s "$tmp/after.1.json" "$tmp/before.1.json" \
+        || { echo "error: baseline output differs (behaviour change)" >&2
+             exit 1; }
+fi
+
+python3 - "$tmp" "$out" "$reps" <<'EOF'
+import json, os, sys
+
+tmp, out, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+def collect(tag):
+    walls, rss = [], []
+    for i in range(1, reps + 1):
+        path = os.path.join(tmp, f"{tag}.{i}.timing.json")
+        if not os.path.exists(path):
+            return None
+        t = json.load(open(path))
+        walls.append(t["wallMs"])
+        if "peakRssKb" in t:
+            rss.append(t["peakRssKb"])
+    return {"wallMs": min(walls), "peakRssKb": min(rss) if rss else None}
+
+after = collect("after")
+before = collect("before")
+doc = {
+    "benchmark": "persim_sweep --figure 14 --only /LB/ "
+                 "(9 workloads x LB, 32 cores, 20000 ops, --jobs 1)",
+    "reps": reps,
+    "metric": "min wall-clock / min peak RSS over reps",
+    "hostCpus": os.cpu_count(),
+    "wallMs": round(after["wallMs"], 1),
+}
+if after["peakRssKb"] is not None:
+    doc["peakRssKb"] = after["peakRssKb"]
+if before is not None:
+    doc["baselineWallMs"] = round(before["wallMs"], 1)
+    doc["speedup"] = round(before["wallMs"] / after["wallMs"], 3)
+    if before["peakRssKb"] and after["peakRssKb"]:
+        doc["baselinePeakRssKb"] = before["peakRssKb"]
+        doc["rssRatio"] = round(
+            after["peakRssKb"] / before["peakRssKb"], 3)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF

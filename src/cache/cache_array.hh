@@ -155,7 +155,10 @@ class CacheArray
     /** Parallel to _lines: the line address of each valid way, kNoLine
      * otherwise. find() scans this instead of the metadata records. */
     std::vector<Addr> _tags;
-    std::uint64_t _lruClock = 0;
+    /** Wrapping 32-bit LRU clock; victimFor compares stamps with a
+     * wrap-aware signed difference, so wraparound (once per ~4G touches)
+     * never inverts the recency order within a set. */
+    std::uint32_t _lruClock = 0;
     Rng _rng{0xC0FFEE};
 };
 

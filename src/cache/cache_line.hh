@@ -7,6 +7,13 @@
  * §4.3 of the paper) marks the one unpersisted incarnation of a dirty
  * line; the simulator maintains the invariant that a line has at most one
  * unpersisted incarnation system-wide at any time.
+ *
+ * The record is packed to 32 bytes (two per host cache line pair) so the
+ * practical --jobs ceiling on small hosts rises: coherence state, the
+ * dirty bit and the pin bit fold into one flags byte, the owner and
+ * epoch-tag core ids narrow to one byte each (the sharers mask already
+ * caps the system at 64 cores), and the LRU stamp is a 32-bit wrapping
+ * counter whose comparisons are wrap-aware (CacheArray::victimFor).
  */
 
 #ifndef PERSIM_CACHE_CACHE_LINE_HH
@@ -28,61 +35,123 @@ enum class CoherenceState : std::uint8_t
     Modified,  // sole dirty copy (L1 only)
 };
 
-/** Per-line metadata shared by L1 and LLC arrays. */
-struct CacheLine
+/**
+ * Per-line metadata shared by L1 and LLC arrays.
+ *
+ * Core ids are stored in one byte with 0xFF as the "no core" sentinel;
+ * the public accessors translate to/from the CoreId-wide kNoCore. This
+ * is sound because the sharers mask below already limits the system to
+ * kMaxCores (= 64) cores, which System/PersistController enforce at
+ * construction time.
+ */
+class CacheLine
 {
-    /** Line-aligned address; valid only when state != Invalid. */
-    Addr addr = 0;
+  public:
+    /** Line-aligned address; valid only when state() != Invalid. */
+    Addr addr() const { return _addr; }
 
-    CoherenceState state = CoherenceState::Invalid;
+    /** Set the address (CacheArray::fill only). */
+    void setAddr(Addr a) { _addr = a; }
+
+    CoherenceState
+    state() const
+    {
+        return static_cast<CoherenceState>(_flags & kStateMask);
+    }
+
+    void
+    setState(CoherenceState s)
+    {
+        _flags = static_cast<std::uint8_t>(
+            (_flags & ~kStateMask) | static_cast<std::uint8_t>(s));
+    }
 
     /** The copy at this level differs from the level below. */
-    bool dirty = false;
+    bool dirty() const { return (_flags & kDirtyBit) != 0; }
 
-    /**
-     * Persist tag: the core whose unpersisted epoch last wrote the line.
-     * kNoCore when the line carries no persist obligation at this level.
-     */
-    CoreId epochCore = kNoCore;
-
-    /** Persist tag: epoch of last modification; kNoEpoch if untagged. */
-    EpochId epochId = kNoEpoch;
-
-    /** LLC only: L1 holding the line Exclusive/Modified, or kNoCore. */
-    CoreId owner = kNoCore;
-
-    /** LLC only: bitmask of L1s holding Shared copies. */
-    std::uint64_t sharers = 0;
-
-    /** LRU timestamp maintained by the array. */
-    std::uint64_t lruStamp = 0;
+    void
+    setDirty(bool d)
+    {
+        if (d)
+            _flags |= kDirtyBit;
+        else
+            _flags &= static_cast<std::uint8_t>(~kDirtyBit);
+    }
 
     /**
      * LLC only: the line (or, for an invalid line, the way) is locked by
      * an in-flight bank transaction or eviction; victim selection and
      * invalidating flushes skip pinned lines.
      */
-    bool pinned = false;
+    bool pinned() const { return (_flags & kPinnedBit) != 0; }
 
-    bool valid() const { return state != CoherenceState::Invalid; }
+    void
+    setPinned(bool p)
+    {
+        if (p)
+            _flags |= kPinnedBit;
+        else
+            _flags &= static_cast<std::uint8_t>(~kPinnedBit);
+    }
+
+    /** LLC only: L1 holding the line Exclusive/Modified, or kNoCore. */
+    CoreId
+    owner() const
+    {
+        return _owner == kNoCore8 ? kNoCore : static_cast<CoreId>(_owner);
+    }
+
+    void
+    setOwner(CoreId core)
+    {
+        // kNoCore (0xFFFF) truncates to the 0xFF sentinel; real core ids
+        // are < kMaxCores and round-trip unchanged.
+        _owner = static_cast<std::uint8_t>(core);
+    }
+
+    /** LLC only: bitmask of L1s holding Shared copies. */
+    std::uint64_t sharers() const { return _sharers; }
+
+    void setSharers(std::uint64_t mask) { _sharers = mask; }
+
+    /**
+     * Persist tag: the core whose unpersisted epoch last wrote the line.
+     * kNoCore when the line carries no persist obligation at this level.
+     */
+    CoreId
+    epochCore() const
+    {
+        return _epochCore == kNoCore8 ? kNoCore
+                                      : static_cast<CoreId>(_epochCore);
+    }
+
+    /** Persist tag: epoch of last modification; kNoEpoch if untagged. */
+    EpochId epochId() const { return _epochId; }
+
+    /** LRU stamp maintained by the array; 32-bit and wrapping. */
+    std::uint32_t lruStamp() const { return _lruStamp; }
+
+    void setLruStamp(std::uint32_t stamp) { _lruStamp = stamp; }
+
+    bool valid() const { return state() != CoherenceState::Invalid; }
 
     /** True when the line carries an unpersisted-epoch obligation. */
-    bool tagged() const { return epochCore != kNoCore; }
+    bool tagged() const { return _epochCore != kNoCore8; }
 
     /** Clear the persist tag (the incarnation persisted or moved). */
     void
     clearTag()
     {
-        epochCore = kNoCore;
-        epochId = kNoEpoch;
+        _epochCore = kNoCore8;
+        _epochId = kNoEpoch;
     }
 
     /** Set the persist tag for an incarnation written by (core, epoch). */
     void
     setTag(CoreId core, EpochId epoch)
     {
-        epochCore = core;
-        epochId = epoch;
+        _epochCore = static_cast<std::uint8_t>(core);
+        _epochId = epoch;
     }
 
     /** Reset to Invalid, dropping all metadata (pin included). Lines
@@ -91,14 +160,39 @@ struct CacheLine
     void
     invalidate()
     {
-        state = CoherenceState::Invalid;
-        dirty = false;
+        _flags = 0;
         clearTag();
-        owner = kNoCore;
-        sharers = 0;
-        pinned = false;
+        _owner = kNoCore8;
+        _sharers = 0;
     }
+
+  private:
+    static constexpr std::uint8_t kStateMask = 0x03;
+    static constexpr std::uint8_t kDirtyBit = 0x04;
+    static constexpr std::uint8_t kPinnedBit = 0x08;
+    static constexpr std::uint8_t kNoCore8 = 0xFF;
+
+    Addr _addr = 0;
+    /**
+     * One bit per core: the sharers mask fixes the architectural core
+     * ceiling at 64, which is also what makes the one-byte core ids
+     * above unambiguous. Keep in sync with kMaxCores.
+     */
+    std::uint64_t _sharers = 0;
+    EpochId _epochId = kNoEpoch;
+    std::uint32_t _lruStamp = 0;
+    std::uint8_t _epochCore = kNoCore8;
+    std::uint8_t _owner = kNoCore8;
+    std::uint8_t _flags = 0; // state (2 bits) | dirty | pinned
 };
+
+static_assert(sizeof(std::uint64_t) * 8 == kMaxCores,
+              "CacheLine::sharers holds one bit per core: widening the "
+              "system beyond 64 cores needs a wider mask AND wider "
+              "packed owner/epochCore fields");
+static_assert(sizeof(CacheLine) <= 32,
+              "CacheLine must stay within 32 bytes (two records per "
+              "host cache line); see the packing notes above");
 
 } // namespace persim::cache
 

@@ -63,8 +63,8 @@ L1Cache::accessStage2(Addr addr, bool isWrite,
         return;
     }
     CacheLine *line = _array.find(addr);
-    if (line && (!isWrite || line->state == CoherenceState::Modified ||
-                 line->state == CoherenceState::Exclusive)) {
+    if (line && (!isWrite || line->state() == CoherenceState::Modified ||
+                 line->state() == CoherenceState::Exclusive)) {
         ++_hits;
         if (isWrite) {
             performStore(addr, std::move(onComplete));
@@ -88,7 +88,7 @@ L1Cache::accessStage2(Addr addr, bool isWrite,
     // pin it so capacity evictions cannot victimize it — its eviction
     // notice would race the grant and corrupt the directory.
     if (line)
-        line->pinned = true;
+        line->setPinned(true);
     _mshrs.allocate(addr, isWrite, std::move(acc));
     probeMshrEpisode();
     sendMiss(addr, isWrite, PendingAccess{isWrite, _core, {}});
@@ -102,12 +102,12 @@ L1Cache::prefetchExclusive(Addr addr)
         if (_mshrs.has(addr) || _mshrs.full())
             return;
         CacheLine *line = _array.find(addr);
-        if (line && (line->state == CoherenceState::Modified ||
-                     line->state == CoherenceState::Exclusive)) {
+        if (line && (line->state() == CoherenceState::Modified ||
+                     line->state() == CoherenceState::Exclusive)) {
             return;
         }
         if (line)
-            line->pinned = true; // transient upgrade; see accessStage2
+            line->setPinned(true); // transient upgrade; see accessStage2
         _mshrs.allocate(addr, true, PendingAccess{false, _core, {}});
         probeMshrEpisode();
         sendMiss(addr, true, PendingAccess{true, _core, {}});
@@ -137,16 +137,16 @@ L1Cache::performStore(Addr addr, InlineCallback onComplete)
             // Conflict resolution may have flushed (and, with an
             // invalidating flush, dropped) the line; re-validate.
             CacheLine *l = _array.find(addr);
-            if (!l || (l->state != CoherenceState::Modified &&
-                       l->state != CoherenceState::Exclusive)) {
+            if (!l || (l->state() != CoherenceState::Modified &&
+                       l->state() != CoherenceState::Exclusive)) {
                 std::vector<PendingAccess> q;
                 q.push_back(PendingAccess{true, _core,
                                           std::move(onComplete)});
                 replayNext(addr, std::move(q), 0);
                 return;
             }
-            l->state = CoherenceState::Modified;
-            l->dirty = true;
+            l->setState(CoherenceState::Modified);
+            l->setDirty(true);
             _array.touch(*l);
             _pc.afterL1Store(_core, *l);
             onComplete();
@@ -173,8 +173,8 @@ L1Cache::handleFillGrant(Addr addr, CoherenceState state, CoreId tagCore,
             writebackLine(*victim, WritebackKind::Eviction);
         line = &_array.fill(*victim, addr, state);
     } else {
-        line->state = state;
-        line->pinned = false; // the transient upgrade resolved
+        line->setState(state);
+        line->setPinned(false); // the transient upgrade resolved
         _array.touch(*line);
     }
     if (tagCore != kNoCore) {
@@ -182,7 +182,7 @@ L1Cache::handleFillGrant(Addr addr, CoherenceState state, CoreId tagCore,
         // logic already moved the flush-engine bucket); the L1 copy now
         // carries the persist obligation.
         line->setTag(tagCore, tagEpoch);
-        line->dirty = true;
+        line->setDirty(true);
     }
     replayNext(addr, _mshrs.release(addr), 0);
     probeMshrEpisode();
@@ -212,8 +212,8 @@ L1Cache::replayNext(Addr addr, std::vector<PendingAccess> queue,
         return;
     }
 
-    if (line && (line->state == CoherenceState::Modified ||
-                 line->state == CoherenceState::Exclusive)) {
+    if (line && (line->state() == CoherenceState::Modified ||
+                 line->state() == CoherenceState::Exclusive)) {
         performStore(addr,
                      [this, addr, done = std::move(acc.onComplete),
                       queue = std::move(queue), idx]() mutable {
@@ -249,7 +249,7 @@ resend:
     }
     ++_misses; // the replayed access goes back to the home bank
     if (line)
-        line->pinned = true; // transient upgrade; see accessStage2
+        line->setPinned(true); // transient upgrade; see accessStage2
     _mshrs.allocate(addr, anyWrite, std::move(queue[idx]));
     for (std::size_t i = idx + 1; i < queue.size(); ++i)
         _mshrs.merge(addr, std::move(queue[i]));
@@ -287,9 +287,9 @@ void
 L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
 {
     simAssert(line.valid(), name(), ": writeback of invalid line");
-    const Addr addr = line.addr;
+    const Addr addr = line.addr();
     LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
-    const bool dirty = line.dirty;
+    const bool dirty = line.dirty();
 
     tracef("WB", *this, "writeback 0x", std::hex, addr, std::dec,
            " kind=", int(kind), " dirty=", dirty, " tagged=",
@@ -307,9 +307,9 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
         CacheLine *llcLine = bank.find(addr);
         simAssert(llcLine, name(), ": inclusion violated for 0x",
                   std::hex, addr, std::dec, " (state ",
-                  int(line.state), ", tagged ", line.tagged(),
-                  ", epoch ", line.epochId, ", kind ", int(kind), ")");
-        llcLine->dirty = true;
+                  int(line.state()), ", tagged ", line.tagged(),
+                  ", epoch ", line.epochId(), ", kind ", int(kind), ")");
+        llcLine->setDirty(true);
         if (line.tagged())
             _pc.onL1Writeback(_core, line, *llcLine, bank.bankIdx());
     }
@@ -321,8 +321,8 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
         _array.invalidate(line);
         break;
       case WritebackKind::DowngradeToShared:
-        line.state = CoherenceState::Shared;
-        line.dirty = false;
+        line.setState(CoherenceState::Shared);
+        line.setDirty(false);
         line.clearTag();
         break;
       case WritebackKind::FlushRetain:
@@ -330,8 +330,8 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
         // until the epoch persists — a subsequent same-core store must
         // still detect the intra-thread conflict (§3.2). The stale tag
         // is cleared by the conflict-resolution path once persisted.
-        line.state = CoherenceState::Exclusive;
-        line.dirty = false;
+        line.setState(CoherenceState::Exclusive);
+        line.setDirty(false);
         break;
     }
 }
@@ -349,14 +349,14 @@ L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
                " present=", line != nullptr, " forWrite=", forWrite);
         if (line) {
             ++_downgrades;
-            hadDirty = line->dirty;
+            hadDirty = line->dirty();
             // State syncs here; the reply message below carries the data
             // (so the writeback itself must not double-charge the mesh).
             LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
             if (hadDirty) {
                 CacheLine *llcLine = bank.find(addr);
                 simAssert(llcLine, name(), ": inclusion violated");
-                llcLine->dirty = true;
+                llcLine->setDirty(true);
                 if (line->tagged())
                     _pc.onL1Writeback(_core, *line, *llcLine,
                                       bank.bankIdx());
@@ -367,8 +367,8 @@ L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
             if (forWrite) {
                 _array.invalidate(*line);
             } else {
-                line->state = CoherenceState::Shared;
-                line->dirty = false;
+                line->setState(CoherenceState::Shared);
+                line->setDirty(false);
                 line->clearTag();
             }
         }
@@ -387,7 +387,7 @@ L1Cache::handleInvalidate(Addr addr, unsigned bankNode,
                    ackAtBank = std::move(ackAtBank)]() mutable {
         CacheLine *line = _array.find(addr);
         if (line) {
-            simAssert(line->state == CoherenceState::Shared, name(),
+            simAssert(line->state() == CoherenceState::Shared, name(),
                       ": invalidate hit a non-Shared line");
             ++_invalidations;
             _array.invalidate(*line);
@@ -407,7 +407,7 @@ L1Cache::flushLines(const std::vector<Addr> &lines, bool invalidating,
             // The line may have been naturally written back between the
             // walk snapshot and this issue slot; its incarnation already
             // moved to the bank, so there is nothing left to do here.
-            if (!line || !line->dirty)
+            if (!line || !line->dirty())
                 return;
             writebackLine(*line, invalidating ? WritebackKind::Eviction
                                               : WritebackKind::FlushRetain);

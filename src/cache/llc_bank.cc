@@ -15,6 +15,9 @@ namespace persim::cache
 
 namespace
 {
+/** Bit for @p core in a sharers mask. core < kMaxCores is enforced at
+ * construction time (PersistController / SystemConfig), so the shift
+ * cannot overflow the 64-bit mask. */
 std::uint64_t
 coreBit(CoreId core)
 {
@@ -51,7 +54,11 @@ LlcBank::LlcBank(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
       _linesFlushed(&_stats, "linesFlushed",
                     "epoch lines flushed to memory"),
       _victimRetries(&_stats, "victimRetries",
-                     "miss fills retried because all ways were pinned")
+                     "miss fills retried because all ways were pinned"),
+      _pinWaits(&_stats, "pinWaits",
+                "requests that blocked on a pinned line"),
+      _flushSkipsPinned(&_stats, "flushSkipsPinned",
+                        "invalidating flushes that kept a pinned line")
 {
 }
 
@@ -64,30 +71,55 @@ LlcBank::handleRequest(Addr addr, bool isWrite, CoreId core)
 {
     ++_requests;
     addr = lineAlign(addr);
-    auto &q = _busy[addr];
-    q.push_back(Txn{addr, isWrite, core});
-    if (q.size() == 1)
+    LineEntry &e = _lines.insertOrFind(addr);
+    const bool wasIdle = e.txns.empty();
+    e.txns.pushBack(_txnPool, _txnPool.alloc(Txn{addr, isWrite, core}));
+    ++e.txnCount;
+    if (wasIdle) {
+        ++_busyLineCount;
         beginIfIdle(addr);
+    }
+}
+
+LlcBank::Txn
+LlcBank::activeTxnFor(Addr addr) const
+{
+    const LineEntry *e = _lines.find(addr);
+    simAssert(e && !e->txns.empty(), name(),
+              ": no active transaction for line 0x", std::hex, addr,
+              std::dec);
+    return _txnPool.at(e->txns.head);
 }
 
 void
 LlcBank::beginIfIdle(Addr addr)
 {
+    // activeTxnFor re-resolves at fire time: the queue entry must still
+    // exist, and the checked lookup turns a protocol bug into a panic
+    // that names this bank and the address.
     scheduleIn(_cfg.accessLatency,
-               [this, addr] { lookupStage(_busy.at(addr).front()); });
+               [this, addr] { lookupStage(activeTxnFor(addr)); });
+}
+
+void
+LlcBank::addPinWaiter(Addr addr, InlineCallback cb)
+{
+    const std::uint32_t node = _waiterPool.alloc(std::move(cb));
+    _lines.insertOrFind(addr).waiters.pushBack(_waiterPool, node);
 }
 
 void
 LlcBank::lookupStage(Txn txn)
 {
     CacheLine *line = _array.find(txn.addr);
-    if (line && line->pinned) {
+    if (line && line->pinned()) {
         // An eviction owns the line right now; retry once it is done.
-        _pinWaiters[txn.addr].push_back([this, txn] { lookupStage(txn); });
+        ++_pinWaits;
+        addPinWaiter(txn.addr, [this, txn] { lookupStage(txn); });
         return;
     }
     if (line) {
-        line->pinned = true;
+        line->setPinned(true);
         hitPath(txn);
     } else {
         missPath(txn);
@@ -99,11 +131,11 @@ LlcBank::hitPath(Txn txn)
 {
     CacheLine *line = _array.find(txn.addr);
     simAssert(line, name(), ": hitPath lost the line");
-    simAssert(line->owner != txn.core, name(),
+    simAssert(line->owner() != txn.core, name(),
               ": request from the current owner");
-    if (line->owner != kNoCore) {
+    if (line->owner() != kNoCore) {
         ++_recalls;
-        const CoreId owner = line->owner;
+        const CoreId owner = line->owner();
         L1Cache *ownerL1 = &_pc.l1(owner);
         const unsigned myNode = _ni.nodeId();
         _ni.sendControl(ownerL1->nodeId(),
@@ -135,7 +167,7 @@ LlcBank::proceedStage(Txn txn)
         grantRead(txn);
         return;
     }
-    const std::uint64_t invMask = line->sharers & ~coreBit(txn.core);
+    const std::uint64_t invMask = line->sharers() & ~coreBit(txn.core);
     if (invMask == 0) {
         grantWrite(txn);
         return;
@@ -143,7 +175,7 @@ LlcBank::proceedStage(Txn txn)
     auto remaining =
         std::make_shared<unsigned>(std::popcount(invMask));
     const unsigned myNode = _ni.nodeId();
-    for (unsigned c = 0; c < 64; ++c) {
+    for (unsigned c = 0; c < kMaxCores; ++c) {
         if (!(invMask & (std::uint64_t{1} << c)))
             continue;
         ++_invsSent;
@@ -176,8 +208,8 @@ LlcBank::grantWrite(Txn txn)
            std::dec, " to core ", txn.core);
     persist::IdtEntry tag =
         _pc.onBankGrantWrite(_bankIdx, txn.core, *line);
-    line->owner = txn.core;
-    line->sharers = 0;
+    line->setOwner(txn.core);
+    line->setSharers(0);
     _array.touch(*line);
     L1Cache *req = &_pc.l1(txn.core);
     const unsigned myNode = _ni.nodeId();
@@ -198,14 +230,14 @@ LlcBank::grantRead(Txn txn)
     CacheLine *line = _array.find(txn.addr);
     simAssert(line, name(), ": line vanished at read grant");
     ++_readHits;
-    const bool exclusive = line->sharers == 0 &&
-                           line->owner == kNoCore && !line->tagged();
+    const bool exclusive = line->sharers() == 0 &&
+                           line->owner() == kNoCore && !line->tagged();
     CoherenceState granted;
     if (exclusive) {
-        line->owner = txn.core;
+        line->setOwner(txn.core);
         granted = CoherenceState::Exclusive;
     } else {
-        line->sharers |= coreBit(txn.core);
+        line->setSharers(line->sharers() | coreBit(txn.core));
         granted = CoherenceState::Shared;
     }
     _array.touch(*line);
@@ -224,12 +256,12 @@ LlcBank::missPath(Txn txn)
     if (line) {
         // Extremely defensive: inclusion means nobody else fills, but a
         // retried miss may observe a line filled by an earlier stage.
-        if (line->pinned) {
-            _pinWaiters[txn.addr].push_back(
-                [this, txn] { lookupStage(txn); });
+        if (line->pinned()) {
+            ++_pinWaits;
+            addPinWaiter(txn.addr, [this, txn] { lookupStage(txn); });
             return;
         }
-        line->pinned = true;
+        line->setPinned(true);
         hitPath(txn);
         return;
     }
@@ -237,17 +269,18 @@ LlcBank::missPath(Txn txn)
         _array.victimFor(txn.addr, _pc.config().avoidTaggedVictims);
     if (!victim) {
         ++_victimRetries;
-        scheduleIn(8, [this, txn] { missPath(txn); });
+        scheduleIn(_cfg.pinnedRetryInterval,
+                   [this, txn] { missPath(txn); });
         return;
     }
     if (victim->valid()) {
-        victim->pinned = true;
-        const Addr vaddr = victim->addr;
+        victim->setPinned(true);
+        const Addr vaddr = victim->addr();
         ++_evictions;
         evictVictim(vaddr, [this, txn] { missPath(txn); });
         return;
     }
-    victim->pinned = true; // claim the invalid way for our fill
+    victim->setPinned(true); // claim the invalid way for our fill
     ++_missesToMemory;
     nvm::MemoryController *mc = &_pc.mcFor(txn.addr);
     nvm::ReadReq req;
@@ -266,7 +299,7 @@ LlcBank::fillAndGrant(Txn txn, CacheLine *way)
     tracef("Evict", *this, "fill 0x", std::hex, txn.addr, std::dec,
            " for core ", txn.core);
     _array.fill(*way, txn.addr, CoherenceState::Shared);
-    way->pinned = true;
+    way->setPinned(true);
     if (txn.isWrite)
         grantWrite(txn);
     else
@@ -277,14 +310,20 @@ void
 LlcBank::finish(Txn txn)
 {
     unpin(txn.addr);
-    auto it = _busy.find(txn.addr);
-    simAssert(it != _busy.end() && !it->second.empty(),
-              name(), ": finish without an active transaction");
-    it->second.pop_front();
-    if (it->second.empty())
-        _busy.erase(it);
-    else
+    // unpin may have run waiters that mutated the table; re-resolve.
+    LineEntry *e = _lines.find(txn.addr);
+    simAssert(e && !e->txns.empty(), name(),
+              ": finish without an active transaction for line 0x",
+              std::hex, txn.addr, std::dec);
+    _txnPool.release(e->txns.popFront(_txnPool));
+    --e->txnCount;
+    if (!e->txns.empty()) {
         beginIfIdle(txn.addr);
+        return;
+    }
+    --_busyLineCount;
+    if (e->waiters.empty())
+        _lines.erase(txn.addr);
 }
 
 void
@@ -292,14 +331,44 @@ LlcBank::unpin(Addr addr)
 {
     CacheLine *line = _array.find(addr);
     if (line)
-        line->pinned = false;
-    auto it = _pinWaiters.find(addr);
-    if (it == _pinWaiters.end())
+        line->setPinned(false);
+    drainPinWaiters(addr);
+}
+
+void
+LlcBank::drainPinWaiters(Addr addr)
+{
+    LineEntry *e = _lines.find(addr);
+    if (!e || e->waiters.empty())
         return;
-    auto waiters = std::move(it->second);
-    _pinWaiters.erase(it);
-    for (auto &w : waiters)
-        w();
+    // Detach the chain first: waiters re-enter the bank and may insert
+    // into (and rehash) the table or queue new waiters on this line.
+    const ListRef chain = e->waiters;
+    e->waiters = ListRef{};
+    if (e->txns.empty())
+        _lines.erase(addr);
+    std::uint32_t n = chain.head;
+    while (n != WaiterPool::kNil) {
+        const std::uint32_t next = _waiterPool.next(n);
+        InlineCallback cb = std::move(_waiterPool.at(n));
+        _waiterPool.release(n);
+        cb();
+        n = next;
+    }
+}
+
+std::size_t
+LlcBank::testPinWaiters(Addr addr) const
+{
+    const LineEntry *e = _lines.find(lineAlign(addr));
+    if (!e)
+        return 0;
+    std::size_t count = 0;
+    for (std::uint32_t n = e->waiters.head; n != WaiterPool::kNil;
+         n = _waiterPool.next(n)) {
+        ++count;
+    }
+    return count;
 }
 
 // ---------------------------------------------------------------------
@@ -310,14 +379,15 @@ void
 LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
 {
     CacheLine *line = _array.find(vaddr);
-    simAssert(line && line->pinned, name(), ": eviction lost its victim");
+    simAssert(line && line->pinned(), name(),
+              ": eviction lost its victim");
     tracef("Evict", *this, "evictVictim 0x", std::hex, vaddr, std::dec,
-           " owner=", line->owner, " sharers=", line->sharers,
-           " tagged=", line->tagged(), " dirty=", line->dirty);
+           " owner=", line->owner(), " sharers=", line->sharers(),
+           " tagged=", line->tagged(), " dirty=", line->dirty());
 
-    if (line->owner != kNoCore) {
+    if (line->owner() != kNoCore) {
         ++_recalls;
-        L1Cache *ownerL1 = &_pc.l1(line->owner);
+        L1Cache *ownerL1 = &_pc.l1(line->owner());
         const unsigned myNode = _ni.nodeId();
         _ni.sendControl(ownerL1->nodeId(),
                         [this, vaddr, ownerL1, myNode,
@@ -330,13 +400,13 @@ LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
         });
         return;
     }
-    if (line->sharers != 0) {
-        const std::uint64_t mask = line->sharers;
+    if (line->sharers() != 0) {
+        const std::uint64_t mask = line->sharers();
         auto remaining = std::make_shared<unsigned>(std::popcount(mask));
         const unsigned myNode = _ni.nodeId();
         auto shared_cont =
             std::make_shared<InlineCallback>(std::move(cont));
-        for (unsigned c = 0; c < 64; ++c) {
+        for (unsigned c = 0; c < kMaxCores; ++c) {
             if (!(mask & (std::uint64_t{1} << c)))
                 continue;
             ++_invsSent;
@@ -348,7 +418,7 @@ LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
                         if (--*remaining == 0) {
                             CacheLine *l = _array.find(vaddr);
                             simAssert(l, name(), ": victim vanished");
-                            l->sharers = 0;
+                            l->setSharers(0);
                             evictVictim(vaddr,
                                         std::move(*shared_cont));
                         }
@@ -367,7 +437,7 @@ LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
             });
         return;
     }
-    if (line->dirty) {
+    if (line->dirty()) {
         ++_evictionsDirty;
         // Untagged dirty data persists naturally, with no ordering
         // constraint and nobody waiting for the ack.
@@ -382,13 +452,7 @@ LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
     tracef("Evict", *this, "drop 0x", std::hex, vaddr, std::dec);
     _array.invalidate(*line);
     // Wake requests that blocked on the pinned victim.
-    auto it = _pinWaiters.find(vaddr);
-    if (it != _pinWaiters.end()) {
-        auto waiters = std::move(it->second);
-        _pinWaiters.erase(it);
-        for (auto &w : waiters)
-            w();
-    }
+    drainPinWaiters(vaddr);
     cont();
 }
 
@@ -406,14 +470,14 @@ LlcBank::acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
     switch (kind) {
       case WritebackKind::Eviction:
       case WritebackKind::DowngradeToInvalid:
-        if (line->owner == fromCore)
-            line->owner = kNoCore;
-        line->sharers &= ~coreBit(fromCore);
+        if (line->owner() == fromCore)
+            line->setOwner(kNoCore);
+        line->setSharers(line->sharers() & ~coreBit(fromCore));
         break;
       case WritebackKind::DowngradeToShared:
-        if (line->owner == fromCore)
-            line->owner = kNoCore;
-        line->sharers |= coreBit(fromCore);
+        if (line->owner() == fromCore)
+            line->setOwner(kNoCore);
+        line->setSharers(line->sharers() | coreBit(fromCore));
         break;
       case WritebackKind::FlushRetain:
         break;
@@ -425,14 +489,28 @@ LlcBank::acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
 // Epoch-flush protocol
 // ---------------------------------------------------------------------
 
+LlcBank::FlushJob *
+LlcBank::findFlushJob(CoreId core, EpochId epoch)
+{
+    for (FlushJob &job : _flushJobs) {
+        if (job.core == core && job.epoch == epoch)
+            return &job;
+    }
+    return nullptr;
+}
+
 void
 LlcBank::handleFlushEpoch(CoreId core, EpochId epoch)
 {
     ++_flushEpochMsgs;
     const std::vector<Addr> lines = _flushEngine.takeAll(core, epoch);
-    FlushJob &job = _flushJobs[jobKey(core, epoch)];
-    simAssert(!job.walked, name(), ": duplicate FlushEpoch");
-    job.outstanding += static_cast<std::uint32_t>(lines.size());
+    FlushJob *job = findFlushJob(core, epoch);
+    if (!job) {
+        _flushJobs.push_back(FlushJob{core, epoch, 0, false});
+        job = &_flushJobs.back();
+    }
+    simAssert(!job->walked, name(), ": duplicate FlushEpoch");
+    job->outstanding += static_cast<std::uint32_t>(lines.size());
 
     const Tick interval = _pc.config().flushIssueInterval;
     Tick offset = 0;
@@ -457,7 +535,9 @@ LlcBank::handleFlushEpoch(CoreId core, EpochId epoch)
         offset += interval;
     }
     scheduleIn(offset, [this, core, epoch] {
-        _flushJobs[jobKey(core, epoch)].walked = true;
+        FlushJob *walkJob = findFlushJob(core, epoch);
+        simAssert(walkJob, name(), ": flush job vanished before walk");
+        walkJob->walked = true;
         maybeBankAck(core, epoch);
     });
 }
@@ -466,32 +546,38 @@ void
 LlcBank::onFlushLineAck(CoreId core, EpochId epoch, Addr addr)
 {
     CacheLine *line = _array.find(addr);
-    if (line && line->epochCore == core && line->epochId == epoch) {
+    if (line && line->epochCore() == core && line->epochId() == epoch) {
         line->clearTag();
-        line->dirty = false;
-        if (_pc.config().invalidatingFlush && !line->pinned &&
-            line->owner == kNoCore && line->sharers == 0) {
-            // clflush semantics: the flushed line leaves the hierarchy.
-            _array.invalidate(*line);
+        line->setDirty(false);
+        if (_pc.config().invalidatingFlush) {
+            if (line->pinned()) {
+                // An in-flight transaction or eviction owns the line;
+                // invalidating it under them would break the pin
+                // contract, so the flush leaves it cached.
+                ++_flushSkipsPinned;
+            } else if (line->owner() == kNoCore && line->sharers() == 0) {
+                // clflush semantics: the flushed line leaves the
+                // hierarchy.
+                _array.invalidate(*line);
+            }
         }
     }
     _pc.arbiter(core).onLinePersisted(epoch);
-    auto it = _flushJobs.find(jobKey(core, epoch));
-    simAssert(it != _flushJobs.end(), name(), ": stray flush ack");
-    simAssert(it->second.outstanding > 0, name(), ": ack underflow");
-    --it->second.outstanding;
+    FlushJob *job = findFlushJob(core, epoch);
+    simAssert(job, name(), ": stray flush ack");
+    simAssert(job->outstanding > 0, name(), ": ack underflow");
+    --job->outstanding;
     maybeBankAck(core, epoch);
 }
 
 void
 LlcBank::maybeBankAck(CoreId core, EpochId epoch)
 {
-    auto it = _flushJobs.find(jobKey(core, epoch));
-    if (it == _flushJobs.end() || !it->second.walked ||
-        it->second.outstanding != 0) {
+    FlushJob *job = findFlushJob(core, epoch);
+    if (!job || !job->walked || job->outstanding != 0)
         return;
-    }
-    _flushJobs.erase(it);
+    *job = _flushJobs.back();
+    _flushJobs.pop_back();
     ++_bankAcksSent;
 
     persist::EpochArbiter *arb = &_pc.arbiter(core);
@@ -512,21 +598,24 @@ LlcBank::maybeBankAck(CoreId core, EpochId epoch)
 void
 LlcBank::debugDump(std::ostream &os)
 {
-    if (_busy.empty() && _pinWaiters.empty() && _flushJobs.empty())
+    if (_lines.empty() && _flushJobs.empty())
         return;
     os << name() << ":";
-    for (const auto &[addr, q] : _busy) {
-        os << " busy[0x" << std::hex << addr << std::dec << "]x"
-           << q.size() << "(core " << q.front().core
-           << (q.front().isWrite ? " W" : " R") << ")";
-    }
-    for (const auto &[addr, w] : _pinWaiters) {
-        os << " pinWait[0x" << std::hex << addr << std::dec << "]x"
-           << w.size();
-    }
-    for (const auto &[key, job] : _flushJobs) {
-        os << " flushJob[" << key << "] out=" << job.outstanding
-           << " walked=" << job.walked;
+    _lines.forEach([&](Addr addr, const LineEntry &e) {
+        if (!e.txns.empty()) {
+            const Txn &front = _txnPool.at(e.txns.head);
+            os << " busy[0x" << std::hex << addr << std::dec << "]x"
+               << e.txnCount << "(core " << front.core
+               << (front.isWrite ? " W" : " R") << ")";
+        }
+        if (!e.waiters.empty()) {
+            os << " pinWait[0x" << std::hex << addr << std::dec << "]x"
+               << testPinWaiters(addr);
+        }
+    });
+    for (const FlushJob &job : _flushJobs) {
+        os << " flushJob[core " << job.core << " epoch " << job.epoch
+           << "] out=" << job.outstanding << " walked=" << job.walked;
     }
     os << "\n";
 }

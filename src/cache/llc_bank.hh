@@ -6,12 +6,11 @@
 #ifndef PERSIM_CACHE_LLC_BANK_HH
 #define PERSIM_CACHE_LLC_BANK_HH
 
-#include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
+#include "cache/flat_table.hh"
 #include "noc/network_interface.hh"
 #include "sim/inline_callback.hh"
 #include "persist/flush_engine.hh"
@@ -36,6 +35,13 @@ struct LlcBankConfig
     Tick accessLatency = 30;
     /** Bits to strip before set indexing (log2 of the bank count). */
     unsigned setShift = 5;
+    /**
+     * Backoff before re-scanning for a victim when every way of the
+     * target set is pinned by in-flight transactions. The default (8
+     * cycles) matches the historical hardcoded value, so figure sweeps
+     * are unchanged unless a spec overrides it.
+     */
+    Tick pinnedRetryInterval = 8;
 };
 
 /**
@@ -47,10 +53,24 @@ struct LlcBankConfig
  * interfere. State carried by writebacks updates synchronously (the
  * mesh charges bandwidth), so the directory is always exact and the
  * transaction code only needs to re-validate, never to reconcile races.
+ *
+ * Per-line request-path state (the transaction queue and the list of
+ * requests blocked on a pinned line) lives in one open-addressed
+ * FlatAddrMap whose slots hold intrusive list heads into per-bank node
+ * pools — no per-request allocation in steady state, and no pointer
+ * chasing on the busy-table lookups that dominate the bank's runtime.
  */
 class LlcBank : public SimObject
 {
   public:
+    /** One queued request; front of a line's queue is the active txn. */
+    struct Txn
+    {
+        Addr addr = 0;
+        bool isWrite = false;
+        CoreId core = kNoCore;
+    };
+
     LlcBank(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
             unsigned nodeId, unsigned x, unsigned y, unsigned bankIdx,
             const LlcBankConfig &cfg, persist::PersistController &pc);
@@ -64,6 +84,15 @@ class LlcBank : public SimObject
 
     /** A load/store request from @p core for @p addr. */
     void handleRequest(Addr addr, bool isWrite, CoreId core);
+
+    /**
+     * The active (front-of-queue) transaction for @p addr. Panics with
+     * the bank name and address when no transaction is queued — every
+     * deferred stage resolves its transaction through here, so a
+     * protocol bug surfaces as a diagnosable panic instead of an opaque
+     * out-of-range error from a container.
+     */
+    Txn activeTxnFor(Addr addr) const;
 
     // ------------------------------------------------------------------
     // Synchronous state transfer from L1s
@@ -99,21 +128,49 @@ class LlcBank : public SimObject
     std::uint64_t requests() const { return _requests.value(); }
 
     /** Lines with a queued transaction (interval-stat sampling). */
-    std::size_t busyLines() const { return _busy.size(); }
+    std::size_t busyLines() const { return _busyLineCount; }
 
     /** Dump in-flight transaction state (deadlock diagnosis). */
     void debugDump(std::ostream &os);
 
-  private:
-    struct Txn
+    // ------------------------------------------------------------------
+    // Test hooks (white-box pin-waiter coverage; not used by the model)
+    // ------------------------------------------------------------------
+
+    /** Enqueue a waiter as if @p addr were pinned (tests only). */
+    void
+    testAddPinWaiter(Addr addr, InlineCallback cb)
     {
-        Addr addr = 0;
-        bool isWrite = false;
-        CoreId core = kNoCore;
+        addPinWaiter(lineAlign(addr), std::move(cb));
+    }
+
+    /** Drive the unpin/wake path directly (tests only). */
+    void testUnpin(Addr addr) { unpin(lineAlign(addr)); }
+
+    /** Number of waiters queued on @p addr (tests only). */
+    std::size_t testPinWaiters(Addr addr) const;
+
+  private:
+    using TxnPool = NodePool<Txn>;
+    using WaiterPool = NodePool<InlineCallback>;
+
+    /**
+     * Flat-map slot for one line: FIFO transaction queue plus FIFO
+     * pin-waiter list, both as index chains into the bank pools. An
+     * entry exists iff at least one of the lists is non-empty.
+     */
+    struct LineEntry
+    {
+        ListRef txns;
+        ListRef waiters;
+        std::uint32_t txnCount = 0;
     };
 
+    /** Outstanding flush-line acks for one (core, epoch). */
     struct FlushJob
     {
+        CoreId core = kNoCore;
+        EpochId epoch = kNoEpoch;
         std::uint32_t outstanding = 0;
         bool walked = false;
     };
@@ -136,9 +193,17 @@ class LlcBank : public SimObject
     /** Unpin addr's line if present, and wake pin-waiters. */
     void unpin(Addr addr);
 
+    /** Queue @p cb to re-run once @p addr is unpinned. */
+    void addPinWaiter(Addr addr, InlineCallback cb);
+
+    /** Detach and invoke every waiter queued on @p addr (FIFO). */
+    void drainPinWaiters(Addr addr);
+
     /** PersistAck for a flushed line of (core, epoch). */
     void onFlushLineAck(CoreId core, EpochId epoch, Addr addr);
     void maybeBankAck(CoreId core, EpochId epoch);
+
+    FlushJob *findFlushJob(CoreId core, EpochId epoch);
 
     unsigned _bankIdx;
     LlcBankConfig _cfg;
@@ -148,21 +213,19 @@ class LlcBank : public SimObject
     CacheArray _array;
     persist::FlushEngine _flushEngine;
 
-    /** Per-line transaction queues; front is active. */
-    std::unordered_map<Addr, std::deque<Txn>> _busy;
+    /** Per-line request state; see LineEntry. */
+    FlatAddrMap<LineEntry> _lines;
+    TxnPool _txnPool;
+    WaiterPool _waiterPool;
+    /** Entries whose transaction queue is non-empty (busyLines()). */
+    std::size_t _busyLineCount = 0;
 
-    /** Waiters blocked on a pinned line (re-run when unpinned). */
-    std::unordered_map<Addr, std::vector<InlineCallback>>
-        _pinWaiters;
-
-    /** Outstanding flush-line acks per (core, epoch). */
-    std::unordered_map<std::uint64_t, FlushJob> _flushJobs;
-
-    static std::uint64_t
-    jobKey(CoreId c, EpochId e)
-    {
-        return (static_cast<std::uint64_t>(c) << 48) ^ e;
-    }
+    /**
+     * In-flight FlushEpoch jobs. A bank serves at most a handful of
+     * epochs at once (maxInflightEpochs x cores reaching this bank), so
+     * a linearly scanned flat vector beats a hash table here.
+     */
+    std::vector<FlushJob> _flushJobs;
 
     Scalar _requests;
     Scalar _readHits;
@@ -177,6 +240,8 @@ class LlcBank : public SimObject
     Scalar _persistCmpSeen;
     Scalar _linesFlushed;
     Scalar _victimRetries;
+    Scalar _pinWaits;
+    Scalar _flushSkipsPinned;
 };
 
 } // namespace persim::cache

@@ -1,5 +1,7 @@
 #include "cache/mshr.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace persim::cache
@@ -10,37 +12,48 @@ MshrFile::allocate(Addr addr, bool forWrite, PendingAccess acc)
 {
     addr = lineAlign(addr);
     simAssert(!full(), "MSHR allocate when full");
-    simAssert(!_entries.contains(addr), "MSHR double allocate");
-    Entry &e = _entries[addr];
-    e.forWrite = forWrite;
-    e.waiting.push_back(std::move(acc));
+    simAssert(!find(addr), "MSHR double allocate");
+    for (Entry &e : _entries) {
+        if (e.addr != kFree)
+            continue;
+        e.addr = addr;
+        e.forWrite = forWrite;
+        e.waiting.push_back(std::move(acc));
+        ++_live;
+        return;
+    }
+    panic("MSHR slot scan found no free entry despite !full()");
 }
 
 void
 MshrFile::merge(Addr addr, PendingAccess acc)
 {
-    addr = lineAlign(addr);
-    auto it = _entries.find(addr);
-    simAssert(it != _entries.end(), "MSHR merge without entry");
-    it->second.waiting.push_back(std::move(acc));
+    Entry *e = find(lineAlign(addr));
+    simAssert(e, "MSHR merge without entry");
+    e->waiting.push_back(std::move(acc));
 }
 
 bool
 MshrFile::forWrite(Addr addr) const
 {
-    auto it = _entries.find(lineAlign(addr));
-    simAssert(it != _entries.end(), "MSHR forWrite without entry");
-    return it->second.forWrite;
+    const Entry *e = find(lineAlign(addr));
+    simAssert(e, "MSHR forWrite without entry");
+    return e->forWrite;
 }
 
 std::vector<PendingAccess>
 MshrFile::release(Addr addr)
 {
-    addr = lineAlign(addr);
-    auto it = _entries.find(addr);
-    simAssert(it != _entries.end(), "MSHR release without entry");
-    std::vector<PendingAccess> out = std::move(it->second.waiting);
-    _entries.erase(it);
+    Entry *e = find(lineAlign(addr));
+    simAssert(e, "MSHR release without entry");
+    std::vector<PendingAccess> out;
+    // Swap rather than move: the slot keeps an (empty) vector object and
+    // the caller gets the queued accesses; the next allocate on this slot
+    // pushes into a vector that will quickly regrow to steady state.
+    out.swap(e->waiting);
+    e->addr = kFree;
+    e->forWrite = false;
+    --_live;
     return out;
 }
 

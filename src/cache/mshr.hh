@@ -7,7 +7,6 @@
 #define PERSIM_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/inline_callback.hh"
@@ -28,17 +27,22 @@ struct PendingAccess
  * The MSHR file: at most one outstanding request per line; later accesses
  * to the same line merge into the existing entry and are replayed when
  * the fill (or upgrade grant) returns.
+ *
+ * Like real hardware, the file is a fixed register array (16 entries in
+ * the Table 1 config) searched associatively — a linear scan over one
+ * flat vector, with no hashing or per-miss allocation. Freed slots keep
+ * their replay-queue buffers, so steady-state misses allocate nothing.
  */
 class MshrFile
 {
   public:
-    explicit MshrFile(unsigned capacity) : _capacity(capacity) {}
+    explicit MshrFile(unsigned capacity) : _entries(capacity) {}
 
     /** True if a request for @p addr is outstanding. */
-    bool has(Addr addr) const { return _entries.contains(lineAlign(addr)); }
+    bool has(Addr addr) const { return find(lineAlign(addr)) != nullptr; }
 
     /** True if no new entry can be allocated. */
-    bool full() const { return _entries.size() >= _capacity; }
+    bool full() const { return _live >= _entries.size(); }
 
     /**
      * Allocate an entry for @p addr (must not exist) and queue @p acc.
@@ -63,18 +67,42 @@ class MshrFile
      */
     std::vector<PendingAccess> release(Addr addr);
 
-    std::size_t size() const { return _entries.size(); }
-    unsigned capacity() const { return _capacity; }
+    std::size_t size() const { return _live; }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(_entries.size());
+    }
 
   private:
     struct Entry
     {
+        Addr addr = kFree;
         bool forWrite = false;
         std::vector<PendingAccess> waiting;
     };
 
-    unsigned _capacity;
-    std::unordered_map<Addr, Entry> _entries;
+    /** Slot sentinel (never a line-aligned address). */
+    static constexpr Addr kFree = ~static_cast<Addr>(0);
+
+    const Entry *
+    find(Addr addr) const
+    {
+        for (const Entry &e : _entries) {
+            if (e.addr == addr)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    Entry *
+    find(Addr addr)
+    {
+        return const_cast<Entry *>(
+            static_cast<const MshrFile *>(this)->find(addr));
+    }
+
+    std::vector<Entry> _entries;
+    std::size_t _live = 0;
 };
 
 } // namespace persim::cache

@@ -47,6 +47,7 @@ ExperimentSpec::toSystemConfig() const
         cfg.barrier.checkpointLines = 0;
     }
     cfg.seed = seed;
+    cfg.llcBank.pinnedRetryInterval = pinnedRetryInterval;
     return cfg;
 }
 
@@ -78,6 +79,10 @@ ExperimentSpec::toJson() const
     out["cores"] = JsonValue(cores);
     out["ops"] = JsonValue(ops);
     out["seed"] = JsonValue(seed);
+    // Emitted only when overridden so existing golden outputs (which
+    // predate the knob) stay byte-identical.
+    if (pinnedRetryInterval != kDefaultPinnedRetryInterval)
+        out["pinnedRetryInterval"] = JsonValue(pinnedRetryInterval);
     return out;
 }
 

@@ -54,6 +54,17 @@ struct ExperimentSpec
     std::uint64_t ops = 300;
     std::uint64_t seed = 1;
 
+    /**
+     * Backoff (cycles) before an LLC miss re-scans for a victim when
+     * every way of its set is pinned; see
+     * LlcBankConfig::pinnedRetryInterval. The default matches the
+     * historical hardcoded value, so figure outputs are unchanged
+     * unless a sweep overrides it.
+     */
+    Tick pinnedRetryInterval = kDefaultPinnedRetryInterval;
+
+    static constexpr Tick kDefaultPinnedRetryInterval = 8;
+
     /** True when workload names a Table 2 micro-benchmark. */
     bool isMicro() const;
 

@@ -38,6 +38,10 @@ PersistController::PersistController(const std::string &name,
                        "cycles a conflicting request waited online"),
       _cfg(cfg)
 {
+    // The sharers bitmask (and `1 << core` in the banks) is 64 bits
+    // wide; a larger system would silently alias core ids.
+    simAssert(numCores <= kMaxCores, name, ": numCores (", numCores,
+              ") exceeds kMaxCores (", kMaxCores, ")");
     _arbiters.reserve(numCores);
     for (unsigned c = 0; c < numCores; ++c) {
         _arbiters.push_back(std::make_unique<EpochArbiter>(
@@ -84,7 +88,7 @@ PersistController::beforeL1Store(CoreId core, cache::CacheLine &line,
         cont();
         return;
     }
-    resolveL1StoreConflict(core, line.addr, std::move(cont));
+    resolveL1StoreConflict(core, line.addr(), std::move(cont));
 }
 
 void
@@ -100,19 +104,21 @@ PersistController::resolveL1StoreConflict(CoreId core, Addr addr,
         return;
     }
     // An L1 line carries a tag only for the owning core's own epochs.
-    simAssert(line->epochCore == core, "L1 line tagged by another core");
+    simAssert(line->epochCore() == core,
+              "L1 line tagged by another core");
     const EpochId cur = arbiter(core).currentEpoch();
-    simAssert(line->epochId <= cur, "L1 line tagged by a future epoch");
-    if (line->epochId == cur) {
+    simAssert(line->epochId() <= cur,
+              "L1 line tagged by a future epoch");
+    if (line->epochId() == cur) {
         cont(); // coalescing within the current epoch (§2.1)
         return;
     }
-    const EpochId old = line->epochId;
+    const EpochId old = line->epochId();
     if (arbiter(core).isPersisted(old)) {
         // A clwb-retained line keeps its tag until the epoch persists;
         // the stale tag ends here and the store starts a fresh
         // incarnation.
-        simAssert(!line->dirty, "stale epoch tag on a dirty L1 line");
+        simAssert(!line->dirty(), "stale epoch tag on a dirty L1 line");
         line->clearTag();
         cont();
         return;
@@ -141,18 +147,18 @@ PersistController::afterL1Store(CoreId core, cache::CacheLine &line)
     // Stores tag at completion time with the current epoch (§2.1).
     Epoch &e = arbiter(core).notePerformedStore();
     if (line.tagged()) {
-        simAssert(line.epochCore == core && line.epochId == e.id,
+        simAssert(line.epochCore() == core && line.epochId() == e.id,
                   "store performed over a foreign incarnation: line 0x",
-                  std::hex, line.addr, std::dec, " tagged (core ",
-                  line.epochCore, ", epoch ", line.epochId,
+                  std::hex, line.addr(), std::dec, " tagged (core ",
+                  line.epochCore(), ", epoch ", line.epochId(),
                   ") but store is (core ", core, ", epoch ", e.id, ")");
         return; // same-epoch coalescing: nothing new to track
     }
     line.setTag(core, e.id);
-    l1(core).flushEngine().addLine(core, e.id, line.addr);
+    l1(core).flushEngine().addLine(core, e.id, line.addr());
     ++e.linesLive;
     if (_observer)
-        _observer->onStoreTagged(core, e.id, line.addr);
+        _observer->onStoreTagged(core, e.id, line.addr());
     if (_cfg.logging) {
         // First modification of the line in this epoch: persist the old
         // value to the undo log (§5.2.1).
@@ -167,16 +173,16 @@ PersistController::onL1Writeback(CoreId core,
                                  unsigned bankIdx)
 {
     simAssert(_cfg.enabled, "tagged writeback with persistence off");
-    simAssert(l1Line.epochCore == core,
+    simAssert(l1Line.epochCore() == core,
               "writeback of a foreign incarnation");
     simAssert(!llcLine.tagged(),
               "two incarnations of one line (LLC already tagged)");
     const bool present = l1(core).flushEngine().removeLine(
-        core, l1Line.epochId, l1Line.addr);
+        core, l1Line.epochId(), l1Line.addr());
     simAssert(present, "L1 incarnation missing from its flush engine");
-    bank(bankIdx).flushEngine().addLine(core, l1Line.epochId,
-                                        l1Line.addr);
-    llcLine.setTag(core, l1Line.epochId);
+    bank(bankIdx).flushEngine().addLine(core, l1Line.epochId(),
+                                        l1Line.addr());
+    llcLine.setTag(core, l1Line.epochId());
 }
 
 // ---------------------------------------------------------------------
@@ -206,8 +212,8 @@ PersistController::resolveBankAccess(unsigned bankIdx, CoreId reqCore,
         cont();
         return;
     }
-    const CoreId srcCore = line->epochCore;
-    const EpochId srcEpoch = line->epochId;
+    const CoreId srcCore = line->epochCore();
+    const EpochId srcEpoch = line->epochId();
     const unsigned bankNode = bank(bankIdx).nodeId();
 
     if (srcCore == reqCore) {
@@ -319,13 +325,13 @@ PersistController::writeGrantNeedsResolve(unsigned bankIdx,
     if (!_cfg.enabled)
         return false;
     cache::CacheLine *line = bank(bankIdx).find(addr);
-    if (!line || !line->tagged() || line->epochCore != reqCore)
+    if (!line || !line->tagged() || line->epochCore() != reqCore)
         return false;
     // A split may have advanced the requester's epoch between conflict
     // resolution and the grant; an unpersisted same-core tag from an
     // older epoch is an intra-thread conflict that must resolve first.
-    return line->epochId != arbiter(reqCore).currentEpoch() &&
-           !arbiter(reqCore).isPersisted(line->epochId);
+    return line->epochId() != arbiter(reqCore).currentEpoch() &&
+           !arbiter(reqCore).isPersisted(line->epochId());
 }
 
 IdtEntry
@@ -335,8 +341,8 @@ PersistController::onBankGrantWrite(unsigned bankIdx, CoreId reqCore,
     const IdtEntry none{kNoCore, kNoEpoch};
     if (!_cfg.enabled || !line.tagged())
         return none;
-    const CoreId srcCore = line.epochCore;
-    const EpochId srcEpoch = line.epochId;
+    const CoreId srcCore = line.epochCore();
+    const EpochId srcEpoch = line.epochId();
 
     if (arbiter(srcCore).isPersisted(srcEpoch)) {
         // Stale tag (the epoch persisted while the request was in
@@ -352,9 +358,10 @@ PersistController::onBankGrantWrite(unsigned bankIdx, CoreId reqCore,
                   "must re-resolve via writeGrantNeedsResolve)");
         // The same-epoch incarnation moves back into the writer's L1.
         const bool present = bank(bankIdx).flushEngine().removeLine(
-            srcCore, srcEpoch, line.addr);
+            srcCore, srcEpoch, line.addr());
         simAssert(present, "LLC tag without a flush-engine entry");
-        l1(reqCore).flushEngine().addLine(srcCore, srcEpoch, line.addr);
+        l1(reqCore).flushEngine().addLine(srcCore, srcEpoch,
+                                          line.addr());
         line.clearTag();
         return IdtEntry{srcCore, srcEpoch};
     }
@@ -365,7 +372,7 @@ PersistController::onBankGrantWrite(unsigned bankIdx, CoreId reqCore,
     // is already in flight it still persists with the old tags.
     const EpochId reqEpoch = arbiter(reqCore).currentEpoch();
     const bool present = bank(bankIdx).flushEngine().removeLine(
-        srcCore, srcEpoch, line.addr);
+        srcCore, srcEpoch, line.addr());
     if (present) {
         ++statStealsClean;
         arbiter(srcCore).removeLiveLine(srcEpoch);
@@ -374,7 +381,7 @@ PersistController::onBankGrantWrite(unsigned bankIdx, CoreId reqCore,
     }
     if (_observer) {
         _observer->onSteal(srcCore, srcEpoch, reqCore, reqEpoch,
-                           line.addr, !present);
+                           line.addr(), !present);
     }
     line.clearTag();
     return none;
@@ -389,8 +396,8 @@ PersistController::beforeLlcEviction(unsigned bankIdx,
               "replacement conflict without a tagged victim");
     ++statReplacementConflicts;
     ++statOnlineFlushWaits;
-    const CoreId core = victim.epochCore;
-    const EpochId epoch = victim.epochId;
+    const CoreId core = victim.epochCore();
+    const EpochId epoch = victim.epochId();
     const unsigned bankNode = bank(bankIdx).nodeId();
     toArbiter(bankNode, core,
               [this, core, epoch, bankNode,

@@ -22,7 +22,7 @@ namespace persim::cache
 {
 class L1Cache;
 class LlcBank;
-struct CacheLine;
+class CacheLine;
 } // namespace persim::cache
 
 namespace persim::noc

@@ -37,6 +37,15 @@ constexpr EpochId kNoEpoch = std::numeric_limits<EpochId>::max();
 /** Sentinel for "no core". */
 constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
 
+/**
+ * Architectural ceiling on the core count. The sharers bitmask in
+ * CacheLine carries one bit per core (and the packed per-line core ids
+ * are one byte), so core ids must stay below 64; shifting `1 << core`
+ * for core >= 64 would be undefined behaviour. System configuration
+ * validation and the PersistController constructor both enforce this.
+ */
+constexpr unsigned kMaxCores = 64;
+
 /** Sentinel tick meaning "never" / unscheduled. */
 constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
 

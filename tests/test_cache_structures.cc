@@ -40,7 +40,7 @@ TEST(CacheArray, FillAndFind)
     CacheLine &line = arr.fill(*victim, 0x1000, CoherenceState::Shared);
     EXPECT_EQ(arr.find(0x1000), &line);
     EXPECT_EQ(arr.find(0x1020), &line); // same line, different offset
-    EXPECT_EQ(line.state, CoherenceState::Shared);
+    EXPECT_EQ(line.state(), CoherenceState::Shared);
 }
 
 TEST(CacheArray, LruVictimSelection)
@@ -54,7 +54,7 @@ TEST(CacheArray, LruVictimSelection)
     arr.touch(*arr.find(a));
     CacheLine *v = arr.victimFor(c, false);
     ASSERT_TRUE(v->valid());
-    EXPECT_EQ(v->addr, b);
+    EXPECT_EQ(v->addr(), b);
 }
 
 TEST(CacheArray, VictimAvoidsTaggedLines)
@@ -66,9 +66,9 @@ TEST(CacheArray, VictimAvoidsTaggedLines)
     arr.fill(*arr.victimFor(b, false), b, CoherenceState::Shared);
     la.setTag(0, 5); // LRU but tagged
     CacheLine *v = arr.victimFor(c, true);
-    EXPECT_EQ(v->addr, b);
+    EXPECT_EQ(v->addr(), b);
     // Without avoidance, plain LRU picks the tagged line.
-    EXPECT_EQ(arr.victimFor(c, false)->addr, a);
+    EXPECT_EQ(arr.victimFor(c, false)->addr(), a);
 }
 
 TEST(CacheArray, VictimPrefersLinesWithoutL1Copies)
@@ -78,8 +78,8 @@ TEST(CacheArray, VictimPrefersLinesWithoutL1Copies)
     CacheLine &la = arr.fill(*arr.victimFor(a, false), a,
                              CoherenceState::Shared);
     arr.fill(*arr.victimFor(b, false), b, CoherenceState::Shared);
-    la.owner = 3; // LRU but held by an L1
-    EXPECT_EQ(arr.victimFor(c, true)->addr, b);
+    la.setOwner(3); // LRU but held by an L1
+    EXPECT_EQ(arr.victimFor(c, true)->addr(), b);
 }
 
 TEST(CacheArray, PinnedLinesAreNeverVictims)
@@ -90,9 +90,9 @@ TEST(CacheArray, PinnedLinesAreNeverVictims)
                              CoherenceState::Shared);
     CacheLine &lb = arr.fill(*arr.victimFor(b, false), b,
                              CoherenceState::Shared);
-    la.pinned = true;
+    la.setPinned(true);
     EXPECT_EQ(arr.victimFor(c, false), &lb);
-    lb.pinned = true;
+    lb.setPinned(true);
     EXPECT_EQ(arr.victimFor(c, false), nullptr);
 }
 
@@ -109,9 +109,9 @@ TEST(CacheArray, RandomPolicyPicksValidCandidates)
     for (int i = 0; i < 64; ++i) {
         CacheLine *v = arr.victimFor(c, false);
         ASSERT_NE(v, nullptr);
-        ASSERT_TRUE(v->addr == a || v->addr == b);
-        sawA |= v->addr == a;
-        sawB |= v->addr == b;
+        ASSERT_TRUE(v->addr() == a || v->addr() == b);
+        sawA |= v->addr() == a;
+        sawB |= v->addr() == b;
     }
     EXPECT_TRUE(sawA);
     EXPECT_TRUE(sawB);
@@ -128,26 +128,26 @@ TEST(CacheArray, RandomPolicyStillAvoidsTaggedLines)
     arr.fill(*arr.victimFor(b, false), b, CoherenceState::Shared);
     la.setTag(0, 3);
     for (int i = 0; i < 32; ++i)
-        EXPECT_EQ(arr.victimFor(c, true)->addr, b);
+        EXPECT_EQ(arr.victimFor(c, true)->addr(), b);
 }
 
 TEST(CacheArray, InvalidateClearsEverything)
 {
     CacheLine l;
-    l.addr = 0x40;
-    l.state = CoherenceState::Modified;
-    l.dirty = true;
+    l.setAddr(0x40);
+    l.setState(CoherenceState::Modified);
+    l.setDirty(true);
     l.setTag(2, 9);
-    l.owner = 2;
-    l.sharers = 0xFF;
-    l.pinned = true;
+    l.setOwner(2);
+    l.setSharers(0xFF);
+    l.setPinned(true);
     l.invalidate();
     EXPECT_FALSE(l.valid());
-    EXPECT_FALSE(l.dirty);
+    EXPECT_FALSE(l.dirty());
     EXPECT_FALSE(l.tagged());
-    EXPECT_EQ(l.owner, kNoCore);
-    EXPECT_EQ(l.sharers, 0u);
-    EXPECT_FALSE(l.pinned);
+    EXPECT_EQ(l.owner(), kNoCore);
+    EXPECT_EQ(l.sharers(), 0u);
+    EXPECT_FALSE(l.pinned());
 }
 
 TEST(CacheArray, SetShiftStripsBankBits)

@@ -60,30 +60,30 @@ checkDirectoryInvariants(System &sys, unsigned cores)
     for (unsigned b = 0; b < cores; ++b) {
         sys.bank(b).array().forEachValid([&](cache::CacheLine &line) {
             // Owner and sharers are mutually exclusive.
-            if (line.owner != kNoCore) {
-                EXPECT_EQ(line.sharers, 0u)
+            if (line.owner() != kNoCore) {
+                EXPECT_EQ(line.sharers(), 0u)
                     << "owned line with sharers: 0x" << std::hex
-                    << line.addr;
+                    << line.addr();
             }
             // The owner really holds the line (inclusion + precision).
-            if (line.owner != kNoCore) {
+            if (line.owner() != kNoCore) {
                 cache::CacheLine *l1Line =
-                    sys.l1(line.owner).find(line.addr);
+                    sys.l1(line.owner()).find(line.addr());
                 ASSERT_NE(l1Line, nullptr)
                     << "directory owner lost line 0x" << std::hex
-                    << line.addr;
-                EXPECT_TRUE(l1Line->state ==
+                    << line.addr();
+                EXPECT_TRUE(l1Line->state() ==
                                 cache::CoherenceState::Modified ||
-                            l1Line->state ==
+                            l1Line->state() ==
                                 cache::CoherenceState::Exclusive);
             }
             // Every recorded sharer holds a Shared copy.
             for (unsigned c = 0; c < cores; ++c) {
-                if (line.sharers & (std::uint64_t{1} << c)) {
+                if (line.sharers() & (std::uint64_t{1} << c)) {
                     cache::CacheLine *l1Line =
-                        sys.l1(static_cast<CoreId>(c)).find(line.addr);
+                        sys.l1(static_cast<CoreId>(c)).find(line.addr());
                     ASSERT_NE(l1Line, nullptr);
-                    EXPECT_EQ(l1Line->state,
+                    EXPECT_EQ(l1Line->state(),
                               cache::CoherenceState::Shared);
                 }
             }
@@ -95,10 +95,10 @@ checkDirectoryInvariants(System &sys, unsigned cores)
             .array()
             .forEachValid([&](cache::CacheLine &line) {
                 const unsigned home =
-                    cache::homeBankOf(line.addr, cores);
-                EXPECT_NE(sys.bank(home).find(line.addr), nullptr)
+                    cache::homeBankOf(line.addr(), cores);
+                EXPECT_NE(sys.bank(home).find(line.addr()), nullptr)
                     << "inclusion violated for 0x" << std::hex
-                    << line.addr;
+                    << line.addr();
             });
     }
 }
@@ -118,8 +118,8 @@ TEST(Coherence, ReadThenWriteUpgrades)
     ASSERT_TRUE(res.completed);
     cache::CacheLine *line = sys.l1(0).find(kBase);
     ASSERT_NE(line, nullptr);
-    EXPECT_EQ(line->state, cache::CoherenceState::Modified);
-    EXPECT_TRUE(line->dirty);
+    EXPECT_EQ(line->state(), cache::CoherenceState::Modified);
+    EXPECT_TRUE(line->dirty());
     checkDirectoryInvariants(sys, 4);
 }
 
@@ -134,9 +134,9 @@ TEST(Coherence, SoleReaderGetsExclusive)
     ASSERT_TRUE(res.completed);
     cache::CacheLine *line = sys.l1(2).find(kBase);
     ASSERT_NE(line, nullptr);
-    EXPECT_EQ(line->state, cache::CoherenceState::Exclusive);
+    EXPECT_EQ(line->state(), cache::CoherenceState::Exclusive);
     const unsigned home = cache::homeBankOf(kBase, 4);
-    EXPECT_EQ(sys.bank(home).find(kBase)->owner, 2);
+    EXPECT_EQ(sys.bank(home).find(kBase)->owner(), 2);
 }
 
 TEST(Coherence, TwoReadersShare)
@@ -157,8 +157,8 @@ TEST(Coherence, TwoReadersShare)
     cache::CacheLine *l1 = sys.l1(1).find(kBase);
     ASSERT_NE(l0, nullptr);
     ASSERT_NE(l1, nullptr);
-    EXPECT_EQ(l0->state, cache::CoherenceState::Shared);
-    EXPECT_EQ(l1->state, cache::CoherenceState::Shared);
+    EXPECT_EQ(l0->state(), cache::CoherenceState::Shared);
+    EXPECT_EQ(l1->state(), cache::CoherenceState::Shared);
     checkDirectoryInvariants(sys, 4);
 }
 
@@ -178,7 +178,7 @@ TEST(Coherence, WriterInvalidatesSharers)
     EXPECT_EQ(sys.l1(0).find(kBase), nullptr); // invalidated
     cache::CacheLine *l1 = sys.l1(1).find(kBase);
     ASSERT_NE(l1, nullptr);
-    EXPECT_EQ(l1->state, cache::CoherenceState::Modified);
+    EXPECT_EQ(l1->state(), cache::CoherenceState::Modified);
     checkDirectoryInvariants(sys, 4);
 }
 
@@ -198,12 +198,12 @@ TEST(Coherence, DirtyLineRecalledForRemoteRead)
     // Writer downgraded to Shared; LLC copy now dirty.
     cache::CacheLine *l0 = sys.l1(0).find(kBase);
     ASSERT_NE(l0, nullptr);
-    EXPECT_EQ(l0->state, cache::CoherenceState::Shared);
-    EXPECT_FALSE(l0->dirty);
+    EXPECT_EQ(l0->state(), cache::CoherenceState::Shared);
+    EXPECT_FALSE(l0->dirty());
     const unsigned home = cache::homeBankOf(kBase, 4);
     cache::CacheLine *llc = sys.bank(home).find(kBase);
     ASSERT_NE(llc, nullptr);
-    EXPECT_TRUE(llc->dirty);
+    EXPECT_TRUE(llc->dirty());
     auto stats = sys.stats();
     double recalls = 0;
     for (unsigned b = 0; b < 4; ++b)
@@ -231,10 +231,10 @@ TEST(Coherence, WriteMissAfterRemoteWrite)
     checkDirectoryInvariants(sys, 4);
     // Exactly one core can own the line at the end.
     const bool own0 = sys.l1(0).find(kBase) &&
-                      sys.l1(0).find(kBase)->state ==
+                      sys.l1(0).find(kBase)->state() ==
                           cache::CoherenceState::Modified;
     const bool own1 = sys.l1(1).find(kBase) &&
-                      sys.l1(1).find(kBase)->state ==
+                      sys.l1(1).find(kBase)->state() ==
                           cache::CoherenceState::Modified;
     EXPECT_NE(own0, own1);
 }

@@ -130,14 +130,14 @@ TEST_P(MicroProperties, InvariantsHold)
             .forEachValid([&](cache::CacheLine &line) {
                 if (!line.tagged())
                     return;
-                EXPECT_FALSE(line.dirty);
+                EXPECT_FALSE(line.dirty());
                 EXPECT_TRUE(sys.persistController()
-                                .arbiter(line.epochCore)
-                                .isPersisted(line.epochId));
+                                .arbiter(line.epochCore())
+                                .isPersisted(line.epochId()));
             });
         sys.bank(c).array().forEachValid([](cache::CacheLine &line) {
             EXPECT_FALSE(line.tagged());
-            EXPECT_FALSE(line.pinned);
+            EXPECT_FALSE(line.pinned());
         });
     }
 }

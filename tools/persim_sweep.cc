@@ -45,6 +45,8 @@ usage(const char *argv0)
         "  --cores N         simulated cores per job (default 32)\n"
         "  --seed N          base workload seed (default 1)\n"
         "  --seeds N         replicate the grid over N derived seeds\n"
+        "  --pinned-retry N  LLC pinned-victim retry backoff in cycles\n"
+        "                    (default 8; applied to every job)\n"
         "  --retries N       extra attempts per failed job (default 1)\n"
         "  --out FILE        write the sweep JSON (default: stdout "
         "summary only)\n"
@@ -104,6 +106,7 @@ main(int argc, char **argv)
     unsigned shardCount = 1;
     Tick intervalTicks = 0;
     bool intervalSet = false;
+    Tick pinnedRetry = exp::ExperimentSpec::kDefaultPinnedRetryInterval;
     bool includeStats = true;
     bool listOnly = false;
     bool liveProgress = false;
@@ -133,6 +136,9 @@ main(int argc, char **argv)
         else if (arg == "--seeds")
             numSeeds = static_cast<unsigned>(
                 std::strtoul(value("--seeds").c_str(), nullptr, 10));
+        else if (arg == "--pinned-retry")
+            pinnedRetry = std::strtoull(value("--pinned-retry").c_str(),
+                                        nullptr, 10);
         else if (arg == "--retries")
             retries = static_cast<unsigned>(
                 std::strtoul(value("--retries").c_str(), nullptr, 10));
@@ -196,6 +202,8 @@ main(int argc, char **argv)
 
     try {
         exp::Sweep sweep = exp::figureSweep(figure, ops, cores, seed);
+        for (exp::ExperimentSpec &spec : sweep.jobs)
+            spec.pinnedRetryInterval = pinnedRetry;
         if (numSeeds > 1) {
             std::vector<std::uint64_t> seeds;
             for (unsigned s = 0; s < numSeeds; ++s)
