@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_trace.json: trace subsystem end-to-end numbers.
+#
+# Three measurements, all over the Figure 11 micro grid (5 workloads x
+# 4 configs, 32 cores):
+#   - baseline:  the sweep with no tracing (reference wall-clock)
+#   - capture:   the same sweep with --capture-dir (capture overhead)
+#   - replay:    the same sweep replayed from the captured traces
+# plus the bench_trace microbenchmark suite (encode / validate /
+# decode / capture-wrapper / replay issue rates).
+#
+# The three sweeps' --no-stats JSON must be byte-identical — capture
+# must not perturb the run and replay must reproduce it exactly — so
+# the script enforces that before reporting any timing.
+#
+# Usage: scripts/bench_trace.sh [build-dir] [out-file]
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-BENCH_trace.json}
+reps=${REPS:-3}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+sweep="$build/tools/persim_sweep"
+bench="$build/bench/bench_trace"
+[ -x "$sweep" ] || { echo "error: $sweep not built" >&2; exit 1; }
+[ -x "$bench" ] || { echo "error: $bench not built" >&2; exit 1; }
+
+common=(--figure 11 --jobs 1 --quiet --no-stats)
+
+run_mode() { # run_mode <tag> [extra args...]
+    local tag=$1 i; shift
+    for i in $(seq 1 "$reps"); do
+        echo "[$tag] fig11 grid, rep $i/$reps ..." >&2
+        "$sweep" "${common[@]}" "$@" \
+            --out "$tmp/$tag.$i.json" \
+            --timing-out "$tmp/$tag.$i.timing.json" >/dev/null
+        cmp -s "$tmp/$tag.1.json" "$tmp/$tag.$i.json" \
+            || { echo "error: rep $i output differs (nondeterminism)" >&2
+                 exit 1; }
+    done
+}
+
+run_mode baseline
+run_mode capture --capture-dir "$tmp/traces"
+run_mode replay --replay-dir "$tmp/traces"
+
+cmp -s "$tmp/baseline.1.json" "$tmp/capture.1.json" \
+    || { echo "error: capture perturbed the sweep output" >&2; exit 1; }
+cmp -s "$tmp/baseline.1.json" "$tmp/replay.1.json" \
+    || { echo "error: replay diverged from the captured run" >&2
+         exit 1; }
+echo "capture -> replay round trip: byte-identical output" >&2
+
+echo "[micro] bench_trace ..." >&2
+"$bench" --benchmark_format=json \
+    --benchmark_out="$tmp/micro.json" >/dev/null
+
+traceBytes=$(du -sk "$tmp/traces" | cut -f1)
+
+python3 - "$tmp" "$out" "$reps" "$traceBytes" <<'EOF'
+import json, os, sys
+
+tmp, out, reps, trace_kb = (sys.argv[1], sys.argv[2], int(sys.argv[3]),
+                            int(sys.argv[4]))
+
+def wall(tag):
+    walls = []
+    for i in range(1, reps + 1):
+        t = json.load(open(os.path.join(tmp, f"{tag}.{i}.timing.json")))
+        walls.append(t["wallMs"])
+    return min(walls)
+
+base, cap, rep = wall("baseline"), wall("capture"), wall("replay")
+micro = json.load(open(os.path.join(tmp, "micro.json")))
+rates = {}
+for b in micro.get("benchmarks", []):
+    if "items_per_second" in b:
+        rates[b["name"]] = round(b["items_per_second"] / 1e6, 2)
+    elif "bytes_per_second" in b:
+        rates[b["name"]] = round(b["bytes_per_second"] / 1e6, 2)
+
+doc = {
+    "benchmark": "persim_sweep --figure 11 (5 micros x 4 configs, "
+                 "32 cores) bare / captured / replayed",
+    "reps": reps,
+    "metric": "min wall-clock over reps; microbench M items (or MB)/s",
+    "hostCpus": os.cpu_count(),
+    "roundTripByteIdentical": True,
+    "baselineWallMs": round(base, 1),
+    "captureWallMs": round(cap, 1),
+    "captureOverhead": round(cap / base, 3),
+    "replayWallMs": round(rep, 1),
+    "replayVsBaseline": round(rep / base, 3),
+    "capturedTraceKb": trace_kb,
+    "microMPerSec": rates,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF

@@ -30,16 +30,48 @@ sumPerCore(const std::map<std::string, double> &stats,
     return total;
 }
 
-/** First outcome matching (workload, config); nullptr if missing. */
+/** First outcome matching (workload, config, seed); nullptr if missing. */
 const JobOutcome *
 findOutcome(const std::vector<JobOutcome> &outcomes,
-            const std::string &workload, const std::string &config)
+            const std::string &workload, const std::string &config,
+            std::uint64_t seed)
 {
     for (const JobOutcome &o : outcomes) {
-        if (o.spec.workload == workload && o.spec.configLabel == config)
+        if (o.spec.workload == workload &&
+            o.spec.configLabel == config && o.spec.seed == seed)
             return &o;
     }
     return nullptr;
+}
+
+/** Distinct seeds in first-appearance order. */
+std::vector<std::uint64_t>
+collectSeeds(const std::vector<JobOutcome> &outcomes)
+{
+    std::vector<std::uint64_t> seeds;
+    for (const JobOutcome &o : outcomes) {
+        if (std::find(seeds.begin(), seeds.end(), o.spec.seed) ==
+            seeds.end())
+            seeds.push_back(o.spec.seed);
+    }
+    return seeds;
+}
+
+/** Two-sided 95% critical value of Student's t with @p df dof. */
+double
+tCritical95(std::size_t df)
+{
+    static const double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return kTable[df - 1];
+    return 1.960; // normal approximation beyond the table
 }
 
 /** Distinct workloads / config labels in first-appearance order. */
@@ -85,6 +117,21 @@ amean(const std::vector<double> &xs)
 }
 
 double
+ciHalfWidth95(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double mean = amean(xs);
+    double ss = 0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    const double stddev = std::sqrt(ss / static_cast<double>(n - 1));
+    return tCritical95(n - 1) * stddev /
+           std::sqrt(static_cast<double>(n));
+}
+
+double
 conflictPct(const JobOutcome &outcome)
 {
     const unsigned cores = outcome.spec.cores;
@@ -106,16 +153,20 @@ figureTable(int figure, const std::vector<JobOutcome> &outcomes)
     FigureTable table;
     std::vector<std::string> allCols;
     collectAxes(outcomes, table.rows, allCols);
+    const std::vector<std::uint64_t> seeds = collectSeeds(outcomes);
+    table.seedCount = static_cast<unsigned>(seeds.size());
 
-    // (workload, config) -> cell value.
-    auto cellValue = [&](const std::string &w,
-                         const std::string &c) -> double {
-        const JobOutcome *o = findOutcome(outcomes, w, c);
+    // (workload, config, seed) -> value; normalized figures use the
+    // same seed's baseline so each replicate is self-consistent.
+    auto seedValue = [&](const std::string &w, const std::string &c,
+                         std::uint64_t seed) -> double {
+        const JobOutcome *o = findOutcome(outcomes, w, c, seed);
         if (!o || !o->ok)
             return 0.0;
         switch (figure) {
         case 11: { // throughput normalized to LB
-            const JobOutcome *base = findOutcome(outcomes, w, "LB");
+            const JobOutcome *base =
+                findOutcome(outcomes, w, "LB", seed);
             if (!base || !base->ok ||
                 base->result.throughput() == 0)
                 return 0.0;
@@ -125,7 +176,8 @@ figureTable(int figure, const std::vector<JobOutcome> &outcomes)
             return conflictPct(*o);
         case 13:
         case 14: { // execution time normalized to NP
-            const JobOutcome *base = findOutcome(outcomes, w, "NP");
+            const JobOutcome *base =
+                findOutcome(outcomes, w, "NP", seed);
             if (!base || !base->ok || base->result.execTicks == 0)
                 return 0.0;
             return static_cast<double>(o->result.execTicks) /
@@ -134,6 +186,15 @@ figureTable(int figure, const std::vector<JobOutcome> &outcomes)
         default:
             fatal("figureTable: unknown figure ", figure);
         }
+    };
+
+    // (workload, config) -> the per-seed replicate values.
+    auto seedValues = [&](const std::string &w, const std::string &c) {
+        std::vector<double> vals;
+        vals.reserve(seeds.size());
+        for (std::uint64_t s : seeds)
+            vals.push_back(seedValue(w, c, s));
+        return vals;
     };
 
     switch (figure) {
@@ -174,12 +235,20 @@ figureTable(int figure, const std::vector<JobOutcome> &outcomes)
         }
     }
 
+    const bool multiSeed = seeds.size() > 1;
     for (const std::string &w : table.rows) {
         std::vector<double> row;
+        std::vector<double> rowCi;
         row.reserve(table.cols.size());
-        for (const std::string &c : table.cols)
-            row.push_back(cellValue(w, c));
+        for (const std::string &c : table.cols) {
+            const std::vector<double> vals = seedValues(w, c);
+            row.push_back(amean(vals));
+            if (multiSeed)
+                rowCi.push_back(ciHalfWidth95(vals));
+        }
         table.cells.push_back(std::move(row));
+        if (multiSeed)
+            table.cellsCi.push_back(std::move(rowCi));
     }
     for (std::size_t c = 0; c < table.cols.size(); ++c) {
         std::vector<double> colVals;
@@ -196,19 +265,35 @@ void
 printFigureTable(std::ostream &os, const FigureTable &table)
 {
     char buf[64];
-    os << "\n=== " << table.title << " ===\n";
+    const bool ci = !table.cellsCi.empty();
+    const int width = ci ? 18 : 12;
+    os << "\n=== " << table.title << " ===";
+    if (table.seedCount > 1)
+        os << " [mean \xc2\xb1 95% CI over " << table.seedCount
+           << " seeds]";
+    os << '\n';
     std::snprintf(buf, sizeof(buf), "%-12s", "workload");
     os << buf;
     for (const auto &c : table.cols) {
-        std::snprintf(buf, sizeof(buf), " %12s", c.c_str());
+        std::snprintf(buf, sizeof(buf), " %*s", width, c.c_str());
         os << buf;
     }
     os << '\n';
     for (std::size_t r = 0; r < table.rows.size(); ++r) {
         std::snprintf(buf, sizeof(buf), "%-12s", table.rows[r].c_str());
         os << buf;
-        for (double v : table.cells[r]) {
-            std::snprintf(buf, sizeof(buf), " %12.3f", v);
+        for (std::size_t c = 0; c < table.cells[r].size(); ++c) {
+            if (ci) {
+                char cell[40];
+                std::snprintf(cell, sizeof(cell), "%.3f \xc2\xb1%.3f",
+                              table.cells[r][c], table.cellsCi[r][c]);
+                // The +/- sign is two UTF-8 bytes but one column.
+                std::snprintf(buf, sizeof(buf), " %*s", width + 1,
+                              cell);
+            } else {
+                std::snprintf(buf, sizeof(buf), " %12.3f",
+                              table.cells[r][c]);
+            }
             os << buf;
         }
         os << '\n';
@@ -216,7 +301,7 @@ printFigureTable(std::ostream &os, const FigureTable &table)
     std::snprintf(buf, sizeof(buf), "%-12s", table.meanLabel.c_str());
     os << buf;
     for (double m : table.means) {
-        std::snprintf(buf, sizeof(buf), " %12.3f", m);
+        std::snprintf(buf, sizeof(buf), " %*.3f", width, m);
         os << buf;
     }
     os << '\n';
@@ -248,14 +333,33 @@ figureTableToJson(const FigureTable &table)
     for (double m : table.means)
         means.push(JsonValue(m));
     out["means"] = std::move(means);
+    // Only multi-seed sweeps emit the CI keys, so single-seed output
+    // stays byte-identical with documents written before --seeds
+    // aggregation existed.
+    if (table.seedCount > 1) {
+        out["seedCount"] = JsonValue(table.seedCount);
+        JsonValue ci = JsonValue::array();
+        for (const auto &row : table.cellsCi) {
+            JsonValue jr = JsonValue::array();
+            for (double v : row)
+                jr.push(JsonValue(v));
+            ci.push(std::move(jr));
+        }
+        out["cellsCi95"] = std::move(ci);
+    }
     return out;
 }
 
 void
 figureTableToCsv(std::ostream &os, const FigureTable &table)
 {
+    const bool ci = !table.cellsCi.empty();
     std::vector<std::string> header = {"workload"};
     header.insert(header.end(), table.cols.begin(), table.cols.end());
+    if (ci) {
+        for (const std::string &c : table.cols)
+            header.push_back(c + "_ci95");
+    }
     std::vector<std::vector<std::string>> rows;
     auto fmt = [](double v) {
         std::ostringstream ss;
@@ -266,11 +370,19 @@ figureTableToCsv(std::ostream &os, const FigureTable &table)
         std::vector<std::string> row = {table.rows[r]};
         for (double v : table.cells[r])
             row.push_back(fmt(v));
+        if (ci) {
+            for (double v : table.cellsCi[r])
+                row.push_back(fmt(v));
+        }
         rows.push_back(std::move(row));
     }
     std::vector<std::string> meanRow = {table.meanLabel};
     for (double m : table.means)
         meanRow.push_back(fmt(m));
+    if (ci) {
+        for (std::size_t c = 0; c < table.cols.size(); ++c)
+            meanRow.push_back("");
+    }
     rows.push_back(std::move(meanRow));
     writeCsv(os, header, rows);
 }

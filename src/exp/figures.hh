@@ -24,7 +24,16 @@
 namespace persim::exp
 {
 
-/** One figure reduced to rows (workloads) x cols (configs). */
+/**
+ * One figure reduced to rows (workloads) x cols (configs).
+ *
+ * When the sweep ran the grid over several seeds (persim_sweep
+ * --seeds N), each cell is the arithmetic mean over the per-seed
+ * values — each seed normalized against its own baseline — and
+ * cellsCi holds the matching 95% confidence half-widths (Student's t).
+ * Single-seed tables have seedCount == 1 and an empty cellsCi, and
+ * serialize exactly as they did before seeds existed.
+ */
 struct FigureTable
 {
     std::string title;
@@ -36,6 +45,10 @@ struct FigureTable
     bool useGmean = true;
     /** Column means over the workloads (matching meanLabel). */
     std::vector<double> means;
+    /** Distinct seeds aggregated into each cell. */
+    unsigned seedCount = 1;
+    /** cellsCi[r][c]: 95% CI half-width; empty when seedCount == 1. */
+    std::vector<std::vector<double>> cellsCi;
 };
 
 /** Geometric mean of @p xs (non-positive entries are skipped). */
@@ -43,6 +56,12 @@ double gmean(const std::vector<double> &xs);
 
 /** Arithmetic mean. */
 double amean(const std::vector<double> &xs);
+
+/**
+ * Half-width of the two-sided 95% confidence interval of the mean of
+ * @p xs (Student's t with n-1 degrees of freedom); 0 for n < 2.
+ */
+double ciHalfWidth95(const std::vector<double> &xs);
 
 /**
  * Fraction (in %) of persisted epochs that were flushed early because

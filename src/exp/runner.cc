@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "exp/stats_export.hh"
+#include "workload/trace/trace_capture.hh"
 
 namespace persim::exp
 {
@@ -60,13 +61,19 @@ runJob(const ExperimentSpec &spec, unsigned maxAttempts,
             if (tweak)
                 tweak(cfg);
             model::System sys(cfg);
-            auto workloads = spec.buildWorkloads();
+            std::shared_ptr<workload::trace::TraceCaptureWriter>
+                capture;
+            auto workloads = spec.buildWorkloads(&capture);
             for (unsigned t = 0; t < cfg.numCores; ++t)
                 sys.setWorkload(static_cast<CoreId>(t),
                                 std::move(workloads[t]));
             out.result = sys.run();
             out.stats = sys.stats();
             out.statTree = statGroupsToJson(sys.statGroups());
+            // Captures are written only for completed runs, so a
+            // retried attempt never leaves a partial trace behind.
+            if (capture)
+                capture->writeBinaryFile(spec.captureFile);
             out.ok = true;
             out.error.clear();
             out.wallMs = msSince(start);

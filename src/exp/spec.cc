@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "workload/synthetic/presets.hh"
+#include "workload/trace/trace_capture.hh"
 #include "workload/workload_factory.hh"
 
 namespace persim::exp
@@ -52,17 +53,26 @@ ExperimentSpec::toSystemConfig() const
 }
 
 std::vector<std::unique_ptr<cpu::Workload>>
-ExperimentSpec::buildWorkloads() const
+ExperimentSpec::buildWorkloads(
+    std::shared_ptr<workload::trace::TraceCaptureWriter> *capture) const
 {
-    if (isMicro()) {
+    std::vector<std::unique_ptr<cpu::Workload>> ws;
+    if (!traceFile.empty()) {
+        ws = workload::makeTraceReplayWorkloads(traceFile, cores);
+    } else if (isMicro()) {
         workload::MicroConfig mc;
         mc.kind = workload::microKindFromName(workload);
         mc.numThreads = cores;
         mc.opsPerThread = ops;
         mc.seed = seed;
-        return workload::makeMicroWorkloads(mc);
+        ws = workload::makeMicroWorkloads(mc);
+    } else {
+        ws = workload::makeSyntheticWorkloads(workload, cores, ops,
+                                              seed);
     }
-    return workload::makeSyntheticWorkloads(workload, cores, ops, seed);
+    if (capture != nullptr && !captureFile.empty())
+        *capture = workload::trace::wrapWithCapture(ws, workload, seed);
+    return ws;
 }
 
 JsonValue

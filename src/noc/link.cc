@@ -1,7 +1,5 @@
 #include "noc/link.hh"
 
-#include <algorithm>
-
 namespace persim::noc
 {
 
@@ -13,17 +11,6 @@ Link::Link(std::string name, StatGroup *group)
       _waitCycles(group, _name + ".waitCycles",
                   "cycles packets waited on this link")
 {
-}
-
-Tick
-Link::reserve(Tick earliest, unsigned flits)
-{
-    Tick start = std::max(earliest, _nextFree);
-    _waitCycles.inc(start - earliest);
-    _nextFree = start + flits;
-    _packets.inc();
-    _busyCycles.inc(flits);
-    return start;
 }
 
 } // namespace persim::noc

@@ -6,6 +6,7 @@
 #ifndef PERSIM_NOC_LINK_HH
 #define PERSIM_NOC_LINK_HH
 
+#include <algorithm>
 #include <string>
 
 #include "sim/stats.hh"
@@ -34,11 +35,23 @@ class Link
     /**
      * Reserve the link for @p flits flit-cycles.
      *
+     * Inline: this sits on the per-packet hot path (every hop of every
+     * mesh traversal) and is four counter updates around a max.
+     *
      * @param earliest First cycle the packet's head can use the link.
      * @param flits Number of flit cycles the link is occupied.
      * @return The cycle the head flit actually starts crossing.
      */
-    Tick reserve(Tick earliest, unsigned flits);
+    Tick
+    reserve(Tick earliest, unsigned flits)
+    {
+        const Tick start = std::max(earliest, _nextFree);
+        _waitCycles.inc(start - earliest);
+        _nextFree = start + flits;
+        _packets.inc();
+        _busyCycles.inc(flits);
+        return start;
+    }
 
     /** First cycle at which the link is free. */
     Tick nextFree() const { return _nextFree; }

@@ -38,6 +38,39 @@ Mesh::attach(unsigned nodeId, unsigned x, unsigned y)
     simAssert(!_nodes[nodeId].attached, "node ", nodeId,
               " attached twice");
     _nodes[nodeId] = NodeLoc{true, x, y};
+    // Cached routes index by the node-table size; drop them whenever
+    // the topology changes.
+    _routes.clear();
+}
+
+Mesh::Route &
+Mesh::routeFor(unsigned src, unsigned dst)
+{
+    const std::size_t n = _nodes.size();
+    if (_routes.size() != n * n)
+        _routes.assign(n * n, Route{});
+    Route &route = _routes[src * n + dst];
+    if (route.eject)
+        return route;
+
+    // X then Y dimension-order walk, recording links in the exact
+    // order send() historically reserved them.
+    const NodeLoc &s = _nodes[src];
+    const NodeLoc &d = _nodes[dst];
+    unsigned x = s.x;
+    unsigned y = s.y;
+    while (x != d.x) {
+        Direction dir = (d.x > x) ? Direction::East : Direction::West;
+        route.hops.push_back(&routerAt(x, y).out(dir));
+        x = (d.x > x) ? x + 1 : x - 1;
+    }
+    while (y != d.y) {
+        Direction dir = (d.y > y) ? Direction::South : Direction::North;
+        route.hops.push_back(&routerAt(x, y).out(dir));
+        y = (d.y > y) ? y + 1 : y - 1;
+    }
+    route.eject = &routerAt(x, y).out(Direction::Eject);
+    return route;
 }
 
 std::uint64_t
@@ -85,33 +118,20 @@ Mesh::send(unsigned src, unsigned dst, unsigned bytes,
     simAssert(bytes > 0, "empty packet");
 
     const unsigned flits = flitsFor(bytes);
-    const NodeLoc &s = _nodes[src];
-    const NodeLoc &d = _nodes[dst];
 
     _packets.inc();
     _flits.inc(flits);
 
+    const Route &route = routeFor(src, dst);
+    const Tick hopLatency = _cfg.linkLatency + _cfg.routerLatency;
+
     // Head-flit cursor: time the head is ready at the next router.
     Tick cursor = curTick() + _cfg.routerLatency; // injection pipeline
-    unsigned x = s.x;
-    unsigned y = s.y;
-
-    // X then Y dimension-order routing, reserving each traversed link.
-    while (x != d.x) {
-        Direction dir = (d.x > x) ? Direction::East : Direction::West;
-        Tick start = routerAt(x, y).out(dir).reserve(cursor, flits);
-        cursor = start + _cfg.linkLatency + _cfg.routerLatency;
-        x = (d.x > x) ? x + 1 : x - 1;
-    }
-    while (y != d.y) {
-        Direction dir = (d.y > y) ? Direction::South : Direction::North;
-        Tick start = routerAt(x, y).out(dir).reserve(cursor, flits);
-        cursor = start + _cfg.linkLatency + _cfg.routerLatency;
-        y = (d.y > y) ? y + 1 : y - 1;
-    }
+    for (Link *link : route.hops)
+        cursor = link->reserve(cursor, flits) + hopLatency;
 
     // Ejection: local port serializes the whole packet.
-    Tick start = routerAt(x, y).out(Direction::Eject).reserve(cursor, flits);
+    Tick start = route.eject->reserve(cursor, flits);
     Tick arrival = start + _cfg.linkLatency + (flits - 1);
 
     _latency.sample(static_cast<double>(arrival - curTick()));

@@ -106,6 +106,20 @@ class Mesh : public SimObject
         unsigned y = 0;
     };
 
+    /**
+     * Pre-resolved XY path between two nodes, in reservation order.
+     * XY routing is static, so the per-send router walk is paid once
+     * per (src, dst) pair and every later send just iterates links.
+     */
+    struct Route
+    {
+        std::vector<Link *> hops;
+        Link *eject = nullptr; // non-null marks the entry as built
+    };
+
+    /** The cached route src -> dst, building it on first use. */
+    Route &routeFor(unsigned src, unsigned dst);
+
     unsigned flitsFor(unsigned bytes) const
     {
         return (bytes + _cfg.flitBytes - 1) / _cfg.flitBytes;
@@ -115,6 +129,8 @@ class Mesh : public SimObject
     StatGroup _stats;
     std::vector<std::unique_ptr<Router>> _routers;
     std::vector<NodeLoc> _nodes;
+    /** Lazily built (src, dst) route cache; attach() invalidates. */
+    std::vector<Route> _routes;
 
     Scalar _packets;
     Scalar _flits;

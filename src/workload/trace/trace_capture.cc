@@ -1,0 +1,176 @@
+#include "workload/trace/trace_capture.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace persim::workload::trace
+{
+
+TraceCaptureWriter::TraceCaptureWriter(std::string name,
+                                       unsigned threads,
+                                       std::uint64_t seed)
+    : _streams(threads), _counts(threads, 0), _halted(threads, false)
+{
+    simAssert(threads >= 1 && threads <= kMaxCores,
+              "TraceCaptureWriter: thread count ", threads,
+              " out of range");
+    _meta.name = std::move(name);
+    _meta.threadCount = threads;
+    _meta.seed = seed;
+}
+
+void
+TraceCaptureWriter::append(unsigned thread, const TraceRecord &r)
+{
+    simAssert(thread < _streams.size(), "capture: thread ", thread,
+              " out of range");
+    appendRecord(_streams[thread], r);
+    ++_counts[thread];
+}
+
+void
+TraceCaptureWriter::record(unsigned thread, const cpu::MemOp &op,
+                           Tick now)
+{
+    if (_halted[thread])
+        return; // cores may poll next() again after halt; keep the
+                // stream well-formed (halt is the last record)
+    TraceRecord r;
+    r.tick = now;
+    switch (op.kind) {
+      case cpu::MemOp::Kind::Load:
+        r.kind = TraceRecord::Kind::Load;
+        r.addr = op.addr;
+        break;
+      case cpu::MemOp::Kind::Store:
+        r.kind = TraceRecord::Kind::Store;
+        r.addr = op.addr;
+        break;
+      case cpu::MemOp::Kind::Barrier:
+        r.kind = TraceRecord::Kind::Barrier;
+        break;
+      case cpu::MemOp::Kind::Compute:
+        r.kind = TraceRecord::Kind::Compute;
+        r.cycles = op.cycles;
+        break;
+      case cpu::MemOp::Kind::Halt:
+        r.kind = TraceRecord::Kind::Halt;
+        _halted[thread] = true;
+        break;
+    }
+    append(thread, r);
+}
+
+void
+TraceCaptureWriter::noteTransactions(unsigned thread,
+                                     std::uint64_t delta, Tick now)
+{
+    if (delta == 0 || _halted[thread])
+        return;
+    TraceRecord r;
+    r.kind = TraceRecord::Kind::TxnMark;
+    r.tick = now;
+    r.count = delta;
+    append(thread, r);
+}
+
+std::uint64_t
+TraceCaptureWriter::totalRecords() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : _counts)
+        total += c;
+    return total;
+}
+
+std::string
+TraceCaptureWriter::encode() const
+{
+    std::string out;
+    out.append(kTraceMagic, sizeof(kTraceMagic));
+    appendU32(out, _meta.version);
+    appendU32(out, static_cast<std::uint32_t>(_streams.size()));
+    appendU64(out, _meta.seed);
+    appendU32(out, static_cast<std::uint32_t>(_meta.name.size()));
+    out.append(_meta.name);
+    appendU32(out, crc32(out.data(), out.size()));
+    for (std::size_t t = 0; t < _streams.size(); ++t) {
+        appendU32(out, static_cast<std::uint32_t>(t));
+        appendU64(out, _counts[t]);
+        appendU64(out, _streams[t].size());
+        appendU32(out, crc32(_streams[t].data(), _streams[t].size()));
+        out.append(_streams[t]);
+    }
+    return out;
+}
+
+void
+TraceCaptureWriter::writeBinaryFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("trace capture: cannot write ", path);
+    const std::string bytes = encode();
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os)
+        fatal("trace capture: short write to ", path);
+}
+
+CapturingWorkload::CapturingWorkload(
+    std::unique_ptr<cpu::Workload> inner,
+    std::shared_ptr<TraceCaptureWriter> writer, unsigned thread)
+    : _inner(std::move(inner)), _writer(std::move(writer)),
+      _thread(thread)
+{
+    simAssert(_inner != nullptr, "CapturingWorkload: null inner");
+    simAssert(_writer != nullptr, "CapturingWorkload: null writer");
+}
+
+cpu::MemOp
+CapturingWorkload::next(Tick now)
+{
+    cpu::MemOp op = _inner->next(now);
+    if (_haltRecorded)
+        return op;
+    // Transactions completed inside this next() call are marked before
+    // the op so halt stays the final record of the stream.
+    const std::uint64_t txns = _inner->transactions();
+    if (txns > _seenTxns) {
+        _writer->noteTransactions(_thread, txns - _seenTxns, now);
+        _seenTxns = txns;
+    }
+    _writer->record(_thread, op, now);
+    if (op.kind == cpu::MemOp::Kind::Halt)
+        _haltRecorded = true;
+    return op;
+}
+
+void
+CapturingWorkload::onLoadComplete(Addr addr, Tick now)
+{
+    _inner->onLoadComplete(addr, now);
+}
+
+std::uint64_t
+CapturingWorkload::transactions() const
+{
+    return _inner->transactions();
+}
+
+std::shared_ptr<TraceCaptureWriter>
+wrapWithCapture(std::vector<std::unique_ptr<cpu::Workload>> &workloads,
+                std::string name, std::uint64_t seed)
+{
+    auto writer = std::make_shared<TraceCaptureWriter>(
+        std::move(name), static_cast<unsigned>(workloads.size()), seed);
+    for (std::size_t t = 0; t < workloads.size(); ++t) {
+        workloads[t] = std::make_unique<CapturingWorkload>(
+            std::move(workloads[t]), writer,
+            static_cast<unsigned>(t));
+    }
+    return writer;
+}
+
+} // namespace persim::workload::trace

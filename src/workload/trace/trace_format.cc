@@ -1,0 +1,512 @@
+#include "workload/trace/trace_format.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace persim::workload::trace
+{
+
+const char kTraceMagic[8] = {'P', 'E', 'R', 'S', 'I', 'M', 'T', 'R'};
+
+const char *
+toString(TraceRecord::Kind kind)
+{
+    switch (kind) {
+      case TraceRecord::Kind::Load:
+        return "load";
+      case TraceRecord::Kind::Store:
+        return "store";
+      case TraceRecord::Kind::Barrier:
+        return "barrier";
+      case TraceRecord::Kind::Compute:
+        return "compute";
+      case TraceRecord::Kind::Lock:
+        return "lock";
+      case TraceRecord::Kind::Unlock:
+        return "unlock";
+      case TraceRecord::Kind::TxnMark:
+        return "txn";
+      case TraceRecord::Kind::Halt:
+        return "halt";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// CRC32 and varints
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t seed)
+{
+    const auto &table = crcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void
+appendVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+bool
+decodeVarint(const char *&p, const char *end, std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (p != end) {
+        const auto byte = static_cast<unsigned char>(*p++);
+        if (shift >= 64 || (shift == 63 && (byte & 0x7E)))
+            return false; // would overflow 64 bits
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80)) {
+            out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false; // buffer ended mid-varint
+}
+
+// ---------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------
+
+void
+appendRecord(std::string &out, const TraceRecord &r)
+{
+    out.push_back(static_cast<char>(r.kind));
+    appendVarint(out, r.tick);
+    switch (r.kind) {
+      case TraceRecord::Kind::Load:
+      case TraceRecord::Kind::Store:
+      case TraceRecord::Kind::Lock:
+      case TraceRecord::Kind::Unlock:
+        appendVarint(out, r.addr);
+        break;
+      case TraceRecord::Kind::Compute:
+        appendVarint(out, r.cycles);
+        break;
+      case TraceRecord::Kind::TxnMark:
+        appendVarint(out, r.count);
+        break;
+      case TraceRecord::Kind::Barrier:
+      case TraceRecord::Kind::Halt:
+        break;
+    }
+}
+
+bool
+decodeRecord(const char *&p, const char *end, TraceRecord &out,
+             std::string &err)
+{
+    if (p == end) {
+        err = "record truncated (no opcode byte)";
+        return false;
+    }
+    const auto opcode = static_cast<unsigned char>(*p++);
+    if (opcode >= kNumRecordKinds) {
+        err = detail::concat("unknown opcode ", unsigned(opcode));
+        return false;
+    }
+    out = TraceRecord{};
+    out.kind = static_cast<TraceRecord::Kind>(opcode);
+    std::uint64_t v = 0;
+    if (!decodeVarint(p, end, v)) {
+        err = "record truncated (timestamp varint)";
+        return false;
+    }
+    out.tick = v;
+    switch (out.kind) {
+      case TraceRecord::Kind::Load:
+      case TraceRecord::Kind::Store:
+      case TraceRecord::Kind::Lock:
+      case TraceRecord::Kind::Unlock:
+        if (!decodeVarint(p, end, v)) {
+            err = "record truncated (address varint)";
+            return false;
+        }
+        out.addr = v;
+        break;
+      case TraceRecord::Kind::Compute:
+        if (!decodeVarint(p, end, v) || v > 0xFFFFFFFFull) {
+            err = "record truncated or oversized (compute cycles)";
+            return false;
+        }
+        out.cycles = static_cast<std::uint32_t>(v);
+        break;
+      case TraceRecord::Kind::TxnMark:
+        if (!decodeVarint(p, end, v)) {
+            err = "record truncated (transaction count)";
+            return false;
+        }
+        out.count = v;
+        break;
+      case TraceRecord::Kind::Barrier:
+      case TraceRecord::Kind::Halt:
+        break;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Whole-trace binary encoding
+// ---------------------------------------------------------------------
+
+std::string
+encodeTrace(const TraceData &data)
+{
+    std::string out;
+    out.append(kTraceMagic, sizeof(kTraceMagic));
+    appendU32(out, data.meta.version);
+    appendU32(out, static_cast<std::uint32_t>(data.streams.size()));
+    appendU64(out, data.meta.seed);
+    appendU32(out, static_cast<std::uint32_t>(data.meta.name.size()));
+    out.append(data.meta.name);
+    appendU32(out, crc32(out.data(), out.size()));
+
+    for (std::size_t t = 0; t < data.streams.size(); ++t) {
+        std::string stream;
+        for (const TraceRecord &r : data.streams[t])
+            appendRecord(stream, r);
+        appendU32(out, static_cast<std::uint32_t>(t));
+        appendU64(out, data.streams[t].size());
+        appendU64(out, stream.size());
+        appendU32(out, crc32(stream.data(), stream.size()));
+        out.append(stream);
+    }
+    return out;
+}
+
+bool
+looksBinary(const std::string &head)
+{
+    return head.size() >= sizeof(kTraceMagic) &&
+           std::memcmp(head.data(), kTraceMagic, sizeof(kTraceMagic)) ==
+               0;
+}
+
+// ---------------------------------------------------------------------
+// Text form
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Strip comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string s = raw;
+    if (auto pos = s.find('#'); pos != std::string::npos)
+        s.erase(pos);
+    const auto first = s.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r\n");
+    return s.substr(first, last - first + 1);
+}
+
+[[noreturn]] void
+parseError(const std::string &src, std::size_t lineNo,
+           const std::string &msg)
+{
+    fatal("trace text ", src, ":", lineNo, ": ", msg);
+}
+
+std::uint64_t
+parseUint(const std::string &src, std::size_t lineNo,
+          const std::string &tok, const char *what)
+{
+    if (tok.empty())
+        parseError(src, lineNo, detail::concat("missing ", what));
+    const int base =
+        tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')
+            ? 16
+            : 10;
+    std::uint64_t v = 0;
+    std::size_t consumed = 0;
+    try {
+        v = std::stoull(base == 16 ? tok.substr(2) : tok, &consumed,
+                        base);
+    } catch (const std::exception &) {
+        parseError(src, lineNo,
+                   detail::concat("bad ", what, " '", tok, "'"));
+    }
+    const std::size_t expect =
+        base == 16 ? tok.size() - 2 : tok.size();
+    if (consumed != expect)
+        parseError(src, lineNo,
+                   detail::concat("bad ", what, " '", tok, "'"));
+    return v;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::istringstream ss(line);
+    std::string tok;
+    while (ss >> tok)
+        toks.push_back(tok);
+    return toks;
+}
+
+} // namespace
+
+TraceData
+parseTextTrace(std::istream &is, const std::string &sourceName)
+{
+    TraceData data;
+    data.meta.name = "trace";
+
+    std::string raw;
+    std::size_t lineNo = 0;
+    bool sawHeader = false;
+    bool sawThreads = false;
+    int curThread = -1;
+    Tick prevTick = 0;
+    bool halted = false;
+
+    while (std::getline(is, raw)) {
+        ++lineNo;
+        const std::string line = cleanLine(raw);
+        if (line.empty())
+            continue;
+        const std::vector<std::string> toks = tokenize(line);
+
+        if (!sawHeader) {
+            if (toks.size() != 2 || toks[0] != "ptrace" ||
+                toks[1] != "v1") {
+                parseError(sourceName, lineNo,
+                           "expected 'ptrace v1' header, got '" + line +
+                               "'");
+            }
+            sawHeader = true;
+            continue;
+        }
+
+        if (toks[0] == "name") {
+            if (toks.size() != 2)
+                parseError(sourceName, lineNo, "name wants one token");
+            data.meta.name = toks[1];
+            continue;
+        }
+        if (toks[0] == "seed") {
+            if (toks.size() != 2)
+                parseError(sourceName, lineNo, "seed wants one value");
+            data.meta.seed = parseUint(sourceName, lineNo, toks[1],
+                                       "seed");
+            continue;
+        }
+        if (toks[0] == "threads") {
+            if (sawThreads)
+                parseError(sourceName, lineNo, "duplicate threads line");
+            if (toks.size() != 2)
+                parseError(sourceName, lineNo, "threads wants a count");
+            const std::uint64_t n =
+                parseUint(sourceName, lineNo, toks[1], "thread count");
+            if (n == 0 || n > kMaxCores)
+                parseError(sourceName, lineNo,
+                           detail::concat("thread count ", n,
+                                          " out of range [1, ",
+                                          kMaxCores, "]"));
+            sawThreads = true;
+            data.meta.threadCount = static_cast<std::uint32_t>(n);
+            data.streams.resize(n);
+            continue;
+        }
+        if (toks[0] == "thread") {
+            if (!sawThreads)
+                parseError(sourceName, lineNo,
+                           "'thread' before 'threads N'");
+            if (toks.size() != 2)
+                parseError(sourceName, lineNo, "thread wants an id");
+            const std::uint64_t id =
+                parseUint(sourceName, lineNo, toks[1], "thread id");
+            if (static_cast<int>(id) != curThread + 1)
+                parseError(sourceName, lineNo,
+                           detail::concat("thread sections must be "
+                                          "sequential: expected thread ",
+                                          curThread + 1, ", got ", id));
+            if (id >= data.meta.threadCount)
+                parseError(sourceName, lineNo,
+                           detail::concat("thread ", id,
+                                          " >= declared thread count ",
+                                          data.meta.threadCount));
+            curThread = static_cast<int>(id);
+            prevTick = 0;
+            halted = false;
+            continue;
+        }
+
+        // Anything else must be a record line: "@TICK kind [arg]".
+        if (curThread < 0)
+            parseError(sourceName, lineNo,
+                       "record before the first 'thread' section: '" +
+                           line + "'");
+        if (toks[0].size() < 2 || toks[0][0] != '@')
+            parseError(sourceName, lineNo,
+                       "expected '@tick op ...', got '" + line + "'");
+        if (halted)
+            parseError(sourceName, lineNo,
+                       detail::concat("thread ", curThread,
+                                      ": record after halt"));
+        TraceRecord r;
+        r.tick = parseUint(sourceName, lineNo, toks[0].substr(1),
+                           "timestamp");
+        if (r.tick < prevTick)
+            parseError(sourceName, lineNo,
+                       detail::concat("thread ", curThread,
+                                      ": timestamp ", r.tick,
+                                      " is out of order (previous ",
+                                      prevTick, ")"));
+        prevTick = r.tick;
+        if (toks.size() < 2)
+            parseError(sourceName, lineNo, "missing op after timestamp");
+        const std::string &op = toks[1];
+        auto wantArg = [&](const char *what) -> std::uint64_t {
+            if (toks.size() != 3)
+                parseError(sourceName, lineNo,
+                           detail::concat(op, " wants a ", what));
+            return parseUint(sourceName, lineNo, toks[2], what);
+        };
+        auto wantNone = [&] {
+            if (toks.size() != 2)
+                parseError(sourceName, lineNo,
+                           op + " takes no argument");
+        };
+        if (op == "load") {
+            r.kind = TraceRecord::Kind::Load;
+            r.addr = wantArg("address");
+        } else if (op == "store") {
+            r.kind = TraceRecord::Kind::Store;
+            r.addr = wantArg("address");
+        } else if (op == "barrier") {
+            r.kind = TraceRecord::Kind::Barrier;
+            wantNone();
+        } else if (op == "compute") {
+            const std::uint64_t c = wantArg("cycle count");
+            if (c > 0xFFFFFFFFull)
+                parseError(sourceName, lineNo,
+                           detail::concat("compute cycles ", c,
+                                          " exceed 32 bits"));
+            r.kind = TraceRecord::Kind::Compute;
+            r.cycles = static_cast<std::uint32_t>(c);
+        } else if (op == "lock") {
+            r.kind = TraceRecord::Kind::Lock;
+            r.addr = wantArg("address");
+        } else if (op == "unlock") {
+            r.kind = TraceRecord::Kind::Unlock;
+            r.addr = wantArg("address");
+        } else if (op == "txn") {
+            r.kind = TraceRecord::Kind::TxnMark;
+            r.count = wantArg("transaction count");
+        } else if (op == "halt") {
+            r.kind = TraceRecord::Kind::Halt;
+            wantNone();
+            halted = true;
+        } else {
+            parseError(sourceName, lineNo, "unknown op '" + op + "'");
+        }
+        data.streams[static_cast<std::size_t>(curThread)].push_back(r);
+    }
+
+    if (!sawHeader)
+        fatal("trace text ", sourceName, ": empty input (no 'ptrace v1' "
+              "header)");
+    if (!sawThreads)
+        fatal("trace text ", sourceName, ": missing 'threads N' line");
+    if (curThread + 1 != static_cast<int>(data.meta.threadCount))
+        fatal("trace text ", sourceName, ": found ", curThread + 1,
+              " thread section(s) but the header declares ",
+              data.meta.threadCount);
+    return data;
+}
+
+void
+writeTextTrace(std::ostream &os, const TraceData &data)
+{
+    os << "ptrace v1\n";
+    os << "name " << data.meta.name << "\n";
+    os << "seed " << data.meta.seed << "\n";
+    os << "threads " << data.streams.size() << "\n";
+    char buf[32];
+    for (std::size_t t = 0; t < data.streams.size(); ++t) {
+        os << "thread " << t << "\n";
+        for (const TraceRecord &r : data.streams[t]) {
+            os << '@' << r.tick << ' ' << toString(r.kind);
+            switch (r.kind) {
+              case TraceRecord::Kind::Load:
+              case TraceRecord::Kind::Store:
+              case TraceRecord::Kind::Lock:
+              case TraceRecord::Kind::Unlock:
+                std::snprintf(buf, sizeof(buf), " 0x%llx",
+                              static_cast<unsigned long long>(r.addr));
+                os << buf;
+                break;
+              case TraceRecord::Kind::Compute:
+                os << ' ' << r.cycles;
+                break;
+              case TraceRecord::Kind::TxnMark:
+                os << ' ' << r.count;
+                break;
+              case TraceRecord::Kind::Barrier:
+              case TraceRecord::Kind::Halt:
+                break;
+            }
+            os << '\n';
+        }
+    }
+}
+
+} // namespace persim::workload::trace

@@ -1,0 +1,246 @@
+#include "workload/trace/trace_reader.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace persim::workload::trace
+{
+
+namespace
+{
+
+/** Little-endian fixed-width reads with bounds checking. */
+struct ByteCursor
+{
+    const char *p;
+    const char *end;
+    const std::string &src;
+
+    bool
+    need(std::size_t n, const char *what)
+    {
+        if (static_cast<std::size_t>(end - p) < n)
+            fatal("trace ", src, ": truncated file (", what, ")");
+        return true;
+    }
+
+    std::uint32_t
+    u32(const char *what)
+    {
+        need(4, what);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+        p += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64(const char *what)
+    {
+        need(8, what);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+        p += 8;
+        return v;
+    }
+};
+
+} // namespace
+
+TraceReader::TraceReader(std::string bytes, std::string sourceName)
+    : _bytes(std::move(bytes)), _source(std::move(sourceName))
+{
+    ByteCursor c{_bytes.data(), _bytes.data() + _bytes.size(), _source};
+
+    c.need(sizeof(kTraceMagic), "magic");
+    if (std::memcmp(c.p, kTraceMagic, sizeof(kTraceMagic)) != 0)
+        fatal("trace ", _source,
+              ": bad magic (not a persimmon binary trace)");
+    c.p += sizeof(kTraceMagic);
+
+    _meta.version = c.u32("version");
+    if (_meta.version != kTraceVersion)
+        fatal("trace ", _source, ": unsupported version ", _meta.version,
+              " (this build reads version ", kTraceVersion, ")");
+    _meta.threadCount = c.u32("thread count");
+    if (_meta.threadCount == 0 || _meta.threadCount > kMaxCores)
+        fatal("trace ", _source, ": thread count ", _meta.threadCount,
+              " out of range [1, ", kMaxCores, "]");
+    _meta.seed = c.u64("seed");
+    const std::uint32_t nameLen = c.u32("name length");
+    if (nameLen > 4096)
+        fatal("trace ", _source, ": implausible name length ", nameLen);
+    c.need(nameLen, "name");
+    _meta.name.assign(c.p, nameLen);
+    c.p += nameLen;
+
+    const auto headerLen =
+        static_cast<std::size_t>(c.p - _bytes.data());
+    const std::uint32_t wantHeaderCrc = c.u32("header CRC");
+    const std::uint32_t gotHeaderCrc = crc32(_bytes.data(), headerLen);
+    if (wantHeaderCrc != gotHeaderCrc)
+        fatal("trace ", _source, ": header CRC mismatch (stored ",
+              wantHeaderCrc, ", computed ", gotHeaderCrc, ")");
+
+    _dir.resize(_meta.threadCount);
+    for (std::uint32_t t = 0; t < _meta.threadCount; ++t) {
+        const std::uint32_t id = c.u32("thread id");
+        if (id != t)
+            fatal("trace ", _source, ": thread directory out of order "
+                  "(expected thread ", t, ", found ", id, ")");
+        StreamDir &d = _dir[t];
+        d.recordCount = c.u64("record count");
+        d.byteLen = c.u64("stream length");
+        const std::uint32_t wantCrc = c.u32("stream CRC");
+        c.need(d.byteLen, "stream bytes");
+        d.byteOffset = static_cast<std::uint64_t>(c.p - _bytes.data());
+        const std::uint32_t gotCrc =
+            crc32(c.p, static_cast<std::size_t>(d.byteLen));
+        if (wantCrc != gotCrc)
+            fatal("trace ", _source, ": thread ", t,
+                  " stream CRC mismatch (stored ", wantCrc,
+                  ", computed ", gotCrc, ")");
+        c.p += d.byteLen;
+    }
+    if (c.p != c.end)
+        fatal("trace ", _source, ": ", c.end - c.p,
+              " trailing byte(s) after the last thread stream");
+}
+
+std::uint64_t
+TraceReader::recordCount(unsigned t) const
+{
+    simAssert(t < _dir.size(), "recordCount: thread ", t,
+              " out of range");
+    return _dir[t].recordCount;
+}
+
+std::uint64_t
+TraceReader::streamBytes(unsigned t) const
+{
+    simAssert(t < _dir.size(), "streamBytes: thread ", t,
+              " out of range");
+    return _dir[t].byteLen;
+}
+
+std::uint64_t
+TraceReader::totalRecords() const
+{
+    std::uint64_t total = 0;
+    for (const StreamDir &d : _dir)
+        total += d.recordCount;
+    return total;
+}
+
+TraceReader::Cursor::Cursor(const TraceReader *reader, unsigned thread)
+    : _reader(reader), _thread(thread)
+{
+    const StreamDir &d = reader->_dir[thread];
+    _p = reader->_bytes.data() + d.byteOffset;
+    _end = _p + d.byteLen;
+}
+
+bool
+TraceReader::Cursor::next(TraceRecord &out)
+{
+    if (_p == _end) {
+        if (_index != _reader->_dir[_thread].recordCount)
+            fatal("trace ", _reader->_source, ": thread ", _thread,
+                  " stream ended after ", _index,
+                  " record(s) but the directory declares ",
+                  _reader->_dir[_thread].recordCount);
+        return false;
+    }
+    std::string err;
+    if (!decodeRecord(_p, _end, out, err))
+        fatal("trace ", _reader->_source, ": thread ", _thread,
+              " record ", _index, ": ", err);
+    if (_halted)
+        fatal("trace ", _reader->_source, ": thread ", _thread,
+              " record ", _index, ": ", toString(out.kind),
+              " after halt");
+    if (out.tick < _prevTick)
+        fatal("trace ", _reader->_source, ": thread ", _thread,
+              " record ", _index, ": timestamp ", out.tick,
+              " is out of order (previous ", _prevTick, ")");
+    _prevTick = out.tick;
+    if (out.kind == TraceRecord::Kind::Halt)
+        _halted = true;
+    ++_index;
+    return true;
+}
+
+TraceReader::Cursor
+TraceReader::stream(unsigned t) const
+{
+    simAssert(t < _dir.size(), "stream: thread ", t, " out of range (",
+              _dir.size(), " threads)");
+    return Cursor(this, t);
+}
+
+void
+TraceReader::validate() const
+{
+    for (std::uint32_t t = 0; t < _meta.threadCount; ++t) {
+        Cursor c = stream(t);
+        TraceRecord r;
+        while (c.next(r)) {
+        }
+        if (c.decoded() != _dir[t].recordCount)
+            fatal("trace ", _source, ": thread ", t, " decodes to ",
+                  c.decoded(), " record(s) but the directory declares ",
+                  _dir[t].recordCount);
+    }
+}
+
+TraceData
+TraceReader::toData() const
+{
+    TraceData data;
+    data.meta = _meta;
+    data.streams.resize(_meta.threadCount);
+    for (std::uint32_t t = 0; t < _meta.threadCount; ++t) {
+        data.streams[t].reserve(
+            static_cast<std::size_t>(_dir[t].recordCount));
+        Cursor c = stream(t);
+        TraceRecord r;
+        while (c.next(r))
+            data.streams[t].push_back(r);
+    }
+    return data;
+}
+
+std::shared_ptr<const TraceReader>
+openTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("trace ", path, ": cannot open file");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string bytes = buf.str();
+    if (bytes.empty())
+        fatal("trace ", path, ": empty file");
+
+    if (!looksBinary(bytes)) {
+        // Text form: parse (which validates), then re-encode so replay
+        // exercises one code path regardless of the input form.
+        std::istringstream text(bytes);
+        bytes = encodeTrace(parseTextTrace(text, path));
+    }
+    auto reader =
+        std::make_shared<const TraceReader>(std::move(bytes), path);
+    reader->validate();
+    return reader;
+}
+
+} // namespace persim::workload::trace

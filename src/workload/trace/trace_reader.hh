@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Streaming reader for binary workload traces, with strict validation.
+ *
+ * The reader keeps the encoded bytes in memory and hands out per-thread
+ * cursors that decode one record at a time, so replay never
+ * materializes whole record vectors. Construction validates the
+ * envelope (magic, version, header CRC, thread directory, per-stream
+ * CRC and length); validate() additionally decodes every record and
+ * enforces stream invariants (monotonic timestamps, nothing after
+ * halt), producing errors that name the offending thread and record.
+ *
+ * Text traces are transparently supported: openTrace() sniffs the
+ * magic and, for text input, parses and re-encodes it in memory so
+ * every consumer runs the same binary path.
+ */
+
+#ifndef PERSIM_WORKLOAD_TRACE_TRACE_READER_HH
+#define PERSIM_WORKLOAD_TRACE_TRACE_READER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/trace/trace_format.hh"
+
+namespace persim::workload::trace
+{
+
+/** A validated, immutable, shareable binary trace. */
+class TraceReader
+{
+  public:
+    /**
+     * Wrap (and envelope-validate) complete binary-trace bytes.
+     * @param sourceName Label used in error messages.
+     * Throws SimFatal on any envelope violation.
+     */
+    explicit TraceReader(std::string bytes,
+                         std::string sourceName = "<buffer>");
+
+    const TraceMeta &meta() const { return _meta; }
+    const std::string &sourceName() const { return _source; }
+
+    /** Records in thread @p t's stream (from the directory). */
+    std::uint64_t recordCount(unsigned t) const;
+
+    /** Encoded byte size of thread @p t's stream. */
+    std::uint64_t streamBytes(unsigned t) const;
+
+    /** Total records over all threads. */
+    std::uint64_t totalRecords() const;
+
+    /** Streaming decoder over one thread's records. */
+    class Cursor
+    {
+      public:
+        /**
+         * Decode the next record into @p out.
+         * @return false at end of stream; throws SimFatal (naming the
+         *         thread, record index, and source) on a malformed
+         *         record, a non-monotonic timestamp, or a record after
+         *         halt.
+         */
+        bool next(TraceRecord &out);
+
+        /** Records decoded so far. */
+        std::uint64_t decoded() const { return _index; }
+
+      private:
+        friend class TraceReader;
+        Cursor(const TraceReader *reader, unsigned thread);
+
+        const TraceReader *_reader;
+        unsigned _thread;
+        const char *_p;
+        const char *_end;
+        std::uint64_t _index = 0;
+        Tick _prevTick = 0;
+        bool _halted = false;
+    };
+
+    /** Cursor over thread @p t (must be < meta().threadCount). */
+    Cursor stream(unsigned t) const;
+
+    /**
+     * Decode every stream start to finish, enforcing all record-level
+     * invariants and the directory's record counts. Throws SimFatal
+     * naming the first violation.
+     */
+    void validate() const;
+
+    /** Materialize the whole trace (persim_trace conversions/stats). */
+    TraceData toData() const;
+
+  private:
+    struct StreamDir
+    {
+        std::uint64_t recordCount = 0;
+        std::uint64_t byteOffset = 0; // into _bytes
+        std::uint64_t byteLen = 0;
+    };
+
+    std::string _bytes;
+    std::string _source;
+    TraceMeta _meta;
+    std::vector<StreamDir> _dir;
+};
+
+/**
+ * Open @p path as a trace: binary files are wrapped directly, text
+ * files ("ptrace v1") are parsed and re-encoded. The result is fully
+ * validated (validate() has run). Throws SimFatal on I/O or format
+ * errors naming the file.
+ */
+std::shared_ptr<const TraceReader> openTrace(const std::string &path);
+
+} // namespace persim::workload::trace
+
+#endif // PERSIM_WORKLOAD_TRACE_TRACE_READER_HH

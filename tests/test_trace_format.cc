@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the workload trace format: record codec, binary envelope
+ * validation (magic / version / CRC / directory), streaming reader
+ * invariants (monotonic timestamps, nothing after halt), the text
+ * form's parser and writer, and text <-> binary round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/logging.hh"
+#include "workload/trace/trace_format.hh"
+#include "workload/trace/trace_reader.hh"
+
+namespace persim::workload::trace
+{
+
+namespace
+{
+
+/** A small two-thread trace exercising every record kind. */
+TraceData
+sampleTrace()
+{
+    TraceData data;
+    data.meta.name = "sample";
+    data.meta.threadCount = 2;
+    data.meta.seed = 42;
+    data.streams.resize(2);
+
+    auto rec = [](TraceRecord::Kind k, Tick tick, Addr addr = 0,
+                  std::uint32_t cycles = 0, std::uint64_t count = 0) {
+        TraceRecord r;
+        r.kind = k;
+        r.tick = tick;
+        r.addr = addr;
+        r.cycles = cycles;
+        r.count = count;
+        return r;
+    };
+    data.streams[0] = {
+        rec(TraceRecord::Kind::Load, 0, 0x1000),
+        rec(TraceRecord::Kind::Store, 5, 0x1040),
+        rec(TraceRecord::Kind::Barrier, 9),
+        rec(TraceRecord::Kind::Compute, 9, 0, 120),
+        rec(TraceRecord::Kind::Lock, 40, 0xffffc900),
+        rec(TraceRecord::Kind::Store, 55, 0x2000),
+        rec(TraceRecord::Kind::Unlock, 61, 0xffffc900),
+        rec(TraceRecord::Kind::TxnMark, 70, 0, 0, 3),
+        rec(TraceRecord::Kind::Halt, 90),
+    };
+    data.streams[1] = {
+        rec(TraceRecord::Kind::Load, 2, 0xdeadbeef),
+        rec(TraceRecord::Kind::Halt, 11),
+    };
+    return data;
+}
+
+/** Message of the SimFatal thrown by @p fn ("" if none thrown). */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const SimFatal &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------
+
+TEST(TraceFormat, RecordCodecRoundTripsEveryKind)
+{
+    const TraceData data = sampleTrace();
+    for (const auto &stream : data.streams) {
+        for (const TraceRecord &r : stream) {
+            std::string bytes;
+            appendRecord(bytes, r);
+            const char *p = bytes.data();
+            const char *end = p + bytes.size();
+            TraceRecord back;
+            std::string err;
+            ASSERT_TRUE(decodeRecord(p, end, back, err)) << err;
+            EXPECT_EQ(p, end);
+            EXPECT_EQ(back, r);
+        }
+    }
+}
+
+TEST(TraceFormat, VarintRejectsTruncationAndOverflow)
+{
+    std::string bytes;
+    appendVarint(bytes, 0xFFFFFFFFFFFFFFFFull);
+    std::uint64_t v = 0;
+    const char *p = bytes.data();
+    ASSERT_TRUE(decodeVarint(p, bytes.data() + bytes.size(), v));
+    EXPECT_EQ(v, 0xFFFFFFFFFFFFFFFFull);
+
+    // Truncated mid-varint.
+    p = bytes.data();
+    EXPECT_FALSE(decodeVarint(p, bytes.data() + bytes.size() - 1, v));
+
+    // 11 continuation bytes overflow 64 bits.
+    const std::string over(11, '\x80');
+    p = over.data();
+    EXPECT_FALSE(decodeVarint(p, over.data() + over.size(), v));
+}
+
+TEST(TraceFormat, DecodeRecordRejectsUnknownOpcode)
+{
+    std::string bytes = "\xEE";
+    appendVarint(bytes, 0);
+    const char *p = bytes.data();
+    TraceRecord r;
+    std::string err;
+    EXPECT_FALSE(decodeRecord(p, bytes.data() + bytes.size(), r, err));
+    EXPECT_NE(err.find("opcode"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
+// Binary envelope validation
+// ---------------------------------------------------------------------
+
+TEST(TraceFormat, BinaryRoundTripPreservesEverything)
+{
+    const TraceData data = sampleTrace();
+    const std::string bytes = encodeTrace(data);
+    ASSERT_TRUE(looksBinary(bytes));
+
+    TraceReader reader(bytes, "unit");
+    reader.validate();
+    EXPECT_EQ(reader.meta().name, "sample");
+    EXPECT_EQ(reader.meta().threadCount, 2u);
+    EXPECT_EQ(reader.meta().seed, 42u);
+    EXPECT_EQ(reader.totalRecords(), 11u);
+    EXPECT_EQ(reader.recordCount(0), 9u);
+
+    const TraceData back = reader.toData();
+    EXPECT_EQ(back.streams, data.streams);
+}
+
+TEST(TraceFormat, TruncatedFileIsNamedError)
+{
+    const std::string bytes = encodeTrace(sampleTrace());
+    for (std::size_t keep : {std::size_t{4}, std::size_t{15},
+                             bytes.size() - 3}) {
+        const std::string msg = fatalMessage([&] {
+            TraceReader reader(bytes.substr(0, keep), "cut.ptrace");
+        });
+        EXPECT_NE(msg.find("cut.ptrace"), std::string::npos) << keep;
+        EXPECT_NE(msg.find("truncated"), std::string::npos)
+            << "keep=" << keep << ": " << msg;
+    }
+}
+
+TEST(TraceFormat, BadMagicIsRejected)
+{
+    std::string bytes = encodeTrace(sampleTrace());
+    bytes[0] = 'X';
+    EXPECT_FALSE(looksBinary(bytes));
+    const std::string msg =
+        fatalMessage([&] { TraceReader reader(bytes, "m.ptrace"); });
+    EXPECT_NE(msg.find("bad magic"), std::string::npos) << msg;
+}
+
+TEST(TraceFormat, UnsupportedVersionIsRejected)
+{
+    std::string bytes = encodeTrace(sampleTrace());
+    bytes[8] = 9; // version word follows the 8-byte magic
+    const std::string msg =
+        fatalMessage([&] { TraceReader reader(bytes, "v.ptrace"); });
+    EXPECT_NE(msg.find("unsupported version 9"), std::string::npos)
+        << msg;
+}
+
+TEST(TraceFormat, HeaderCrcMismatchIsRejected)
+{
+    std::string bytes = encodeTrace(sampleTrace());
+    bytes[16] ^= 0x5A; // a seed byte, covered by the header CRC
+    const std::string msg =
+        fatalMessage([&] { TraceReader reader(bytes, "h.ptrace"); });
+    EXPECT_NE(msg.find("header CRC mismatch"), std::string::npos)
+        << msg;
+}
+
+TEST(TraceFormat, StreamCrcMismatchNamesTheThread)
+{
+    std::string bytes = encodeTrace(sampleTrace());
+    bytes[bytes.size() - 1] ^= 0x5A; // last record byte of thread 1
+    const std::string msg =
+        fatalMessage([&] { TraceReader reader(bytes, "s.ptrace"); });
+    EXPECT_NE(msg.find("thread 1 stream CRC mismatch"),
+              std::string::npos)
+        << msg;
+}
+
+TEST(TraceFormat, TrailingBytesAreRejected)
+{
+    const std::string bytes = encodeTrace(sampleTrace()) + "junk";
+    const std::string msg =
+        fatalMessage([&] { TraceReader reader(bytes, "t.ptrace"); });
+    EXPECT_NE(msg.find("trailing byte"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------
+// Stream invariants (enforced while decoding)
+// ---------------------------------------------------------------------
+
+TEST(TraceFormat, OutOfOrderTimestampNamesThreadAndRecord)
+{
+    TraceData data = sampleTrace();
+    data.streams[0][3].tick = 3; // before record 2's tick 9
+    TraceReader reader(encodeTrace(data), "ooo.ptrace");
+    const std::string msg = fatalMessage([&] { reader.validate(); });
+    EXPECT_NE(msg.find("thread 0 record 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of order"), std::string::npos) << msg;
+}
+
+TEST(TraceFormat, RecordAfterHaltIsRejected)
+{
+    TraceData data = sampleTrace();
+    TraceRecord extra;
+    extra.kind = TraceRecord::Kind::Load;
+    extra.tick = 99;
+    extra.addr = 0x3000;
+    data.streams[1].push_back(extra);
+    TraceReader reader(encodeTrace(data), "ah.ptrace");
+    const std::string msg = fatalMessage([&] { reader.validate(); });
+    EXPECT_NE(msg.find("after halt"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("thread 1"), std::string::npos) << msg;
+}
+
+TEST(TraceFormat, EmptyPerThreadStreamIsValid)
+{
+    TraceData data = sampleTrace();
+    data.streams[1].clear();
+    TraceReader reader(encodeTrace(data), "empty.ptrace");
+    reader.validate();
+    EXPECT_EQ(reader.recordCount(1), 0u);
+    TraceRecord r;
+    auto cursor = reader.stream(1);
+    EXPECT_FALSE(cursor.next(r));
+}
+
+// ---------------------------------------------------------------------
+// Text form
+// ---------------------------------------------------------------------
+
+TEST(TraceFormat, TextRoundTripPreservesEverything)
+{
+    const TraceData data = sampleTrace();
+    std::ostringstream os;
+    writeTextTrace(os, data);
+    std::istringstream is(os.str());
+    const TraceData back = parseTextTrace(is, "rt.ptrace");
+    EXPECT_EQ(back.meta.name, data.meta.name);
+    EXPECT_EQ(back.meta.seed, data.meta.seed);
+    EXPECT_EQ(back.meta.threadCount, data.meta.threadCount);
+    EXPECT_EQ(back.streams, data.streams);
+
+    // Text -> binary -> text is canonical (fixed point).
+    TraceReader reader(encodeTrace(back), "rt2");
+    std::ostringstream os2;
+    writeTextTrace(os2, reader.toData());
+    EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(TraceFormat, TextParserAcceptsCommentsAndHex)
+{
+    std::istringstream is("# leading comment\n"
+                          "ptrace v1\n"
+                          "name demo # trailing comment\n"
+                          "seed 7\n"
+                          "threads 1\n"
+                          "thread 0\n"
+                          "@0 load 0x40\n"
+                          "\n"
+                          "@3 store 64\n"
+                          "@3 halt\n");
+    const TraceData data = parseTextTrace(is, "c.ptrace");
+    EXPECT_EQ(data.meta.name, "demo");
+    ASSERT_EQ(data.streams[0].size(), 3u);
+    EXPECT_EQ(data.streams[0][0].addr, 0x40u);
+    EXPECT_EQ(data.streams[0][1].addr, 64u);
+}
+
+TEST(TraceFormat, TextParserErrorsNameFileAndLine)
+{
+    struct Case
+    {
+        const char *text;
+        const char *expect;
+    };
+    const Case cases[] = {
+        {"not a trace\n", "expected 'ptrace v1'"},
+        {"ptrace v1\nthreads 1\nthread 0\n@5 load 1\n@2 load 1\n",
+         "out of order"},
+        {"ptrace v1\nthreads 1\nthread 0\n@1 halt\n@2 load 1\n",
+         "after halt"},
+        {"ptrace v1\nthreads 1\nthread 0\n@1 frobnicate 2\n",
+         "unknown op"},
+        {"ptrace v1\nthreads 2\nthread 1\n", "sequential"},
+        {"ptrace v1\nthreads 2\nthread 0\n@0 halt\n",
+         "found 1 thread section(s)"},
+        {"ptrace v1\nthreads 1\nthread 0\n@1 barrier 5\n",
+         "no argument"},
+        {"ptrace v1\n@0 load 1\n", "before the first 'thread'"},
+    };
+    for (const Case &c : cases) {
+        std::istringstream is(c.text);
+        const std::string msg = fatalMessage(
+            [&] { parseTextTrace(is, "err.ptrace"); });
+        EXPECT_NE(msg.find("err.ptrace"), std::string::npos)
+            << c.text << " -> " << msg;
+        EXPECT_NE(msg.find(c.expect), std::string::npos)
+            << c.text << " -> " << msg;
+    }
+}
+
+TEST(TraceFormat, CheckedInFixtureValidates)
+{
+    const std::string path =
+        std::string(PERSIM_TESTS_DATA_DIR) + "/fixture.ptrace";
+    auto reader = openTrace(path);
+    EXPECT_EQ(reader->meta().name, "fixture");
+    EXPECT_EQ(reader->meta().threadCount, 2u);
+    EXPECT_EQ(reader->meta().seed, 7u);
+    EXPECT_EQ(reader->totalRecords(), 17u);
+}
+
+TEST(TraceFormat, CrcMatchesKnownVector)
+{
+    // The classic IEEE 802.3 check value for "123456789".
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+} // namespace persim::workload::trace

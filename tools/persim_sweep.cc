@@ -16,9 +16,11 @@
  * --timing-out for the host-dependent numbers.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -28,6 +30,7 @@
 #include "exp/spec.hh"
 #include "exp/trace_export.hh"
 #include "sim/logging.hh"
+#include "workload/trace/trace_reader.hh"
 
 using namespace persim;
 
@@ -44,7 +47,22 @@ usage(const char *argv0)
         "  --ops N           operations per thread (default: figure's)\n"
         "  --cores N         simulated cores per job (default 32)\n"
         "  --seed N          base workload seed (default 1)\n"
-        "  --seeds N         replicate the grid over N derived seeds\n"
+        "  --seeds N         replicate the grid over N derived seeds;\n"
+        "                    figure tables then report mean and 95%% CI\n"
+        "  --workload W      keep only grid rows for workload W (a "
+        "micro\n"
+        "                    name, a synthetic preset, or 'trace' with\n"
+        "                    --trace-file)\n"
+        "  --trace-file F    with --workload trace: replay the workload "
+        "trace\n"
+        "                    F (binary or text) through the figure's "
+        "config\n"
+        "                    axis; core count comes from the trace "
+        "header\n"
+        "  --capture-dir D   record every job's workload to\n"
+        "                    D/<sweep>_<id>.ptrace (id with '/' as '_')\n"
+        "  --replay-dir D    replay each job from D/<sweep>_<id>.ptrace\n"
+        "                    (the paths --capture-dir writes)\n"
         "  --pinned-retry N  LLC pinned-victim retry backoff in cycles\n"
         "                    (default 8; applied to every job)\n"
         "  --retries N       extra attempts per failed job (default 1)\n"
@@ -100,6 +118,10 @@ main(int argc, char **argv)
     std::string traceJob;
     std::string traceFlags = "all";
     std::string onlyPattern;
+    std::string workloadFilter;
+    std::string replayTraceFile;
+    std::string captureDir;
+    std::string replayDir;
     std::string telemetryFile;
     std::string intervalCsvFile;
     unsigned shardIndex = 1;
@@ -121,7 +143,15 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (arg == "--figure")
+        if (arg == "--workload")
+            workloadFilter = value("--workload");
+        else if (arg == "--trace-file")
+            replayTraceFile = value("--trace-file");
+        else if (arg == "--capture-dir")
+            captureDir = value("--capture-dir");
+        else if (arg == "--replay-dir")
+            replayDir = value("--replay-dir");
+        else if (arg == "--figure")
             figure = std::atoi(value("--figure").c_str());
         else if (arg == "--jobs")
             jobs = static_cast<unsigned>(
@@ -200,10 +230,64 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!replayTraceFile.empty() && workloadFilter != "trace") {
+        std::fprintf(stderr,
+                     "--trace-file needs --workload trace\n");
+        return 2;
+    }
+    if (workloadFilter == "trace" && replayTraceFile.empty()) {
+        std::fprintf(stderr,
+                     "--workload trace needs --trace-file FILE\n");
+        return 2;
+    }
+
     try {
         exp::Sweep sweep = exp::figureSweep(figure, ops, cores, seed);
         for (exp::ExperimentSpec &spec : sweep.jobs)
             spec.pinnedRetryInterval = pinnedRetry;
+
+        if (workloadFilter == "trace") {
+            // Replace the workload axis with one row replaying the
+            // trace through every config of the figure. The trace
+            // header fixes the core count and the row's name.
+            auto reader = workload::trace::openTrace(replayTraceFile);
+            std::vector<exp::ExperimentSpec> rows;
+            std::vector<std::string> seenConfigs;
+            for (const exp::ExperimentSpec &s : sweep.jobs) {
+                if (std::find(seenConfigs.begin(), seenConfigs.end(),
+                              s.configLabel) != seenConfigs.end())
+                    continue;
+                seenConfigs.push_back(s.configLabel);
+                exp::ExperimentSpec spec = s;
+                spec.workload = reader->meta().name.empty()
+                                    ? "trace"
+                                    : reader->meta().name;
+                spec.cores = reader->meta().threadCount;
+                spec.traceFile = replayTraceFile;
+                rows.push_back(std::move(spec));
+            }
+            sweep.jobs = std::move(rows);
+            std::fprintf(stderr,
+                         "replaying %s (%u thread(s), %llu records) "
+                         "over %zu config(s)\n",
+                         replayTraceFile.c_str(),
+                         reader->meta().threadCount,
+                         static_cast<unsigned long long>(
+                             reader->totalRecords()),
+                         sweep.jobs.size());
+        } else if (!workloadFilter.empty()) {
+            std::erase_if(sweep.jobs, [&](const auto &spec) {
+                return spec.workload != workloadFilter;
+            });
+            if (sweep.jobs.empty()) {
+                std::fprintf(stderr,
+                             "--workload '%s' matches no job in %s\n",
+                             workloadFilter.c_str(),
+                             sweep.name.c_str());
+                return 2;
+            }
+        }
+
         if (numSeeds > 1) {
             std::vector<std::uint64_t> seeds;
             for (unsigned s = 0; s < numSeeds; ++s)
@@ -234,6 +318,24 @@ main(int argc, char **argv)
                              shardIndex, shardCount);
                 return 2;
             }
+        }
+
+        // Applied after seed expansion / --only / --shard so every
+        // surviving job gets its own trace path.
+        auto tracePathFor = [&](const exp::ExperimentSpec &spec,
+                                const std::string &dir) {
+            std::string id = spec.id();
+            std::replace(id.begin(), id.end(), '/', '_');
+            return dir + "/" + sweep.name + "_" + id + ".ptrace";
+        };
+        if (!captureDir.empty()) {
+            std::filesystem::create_directories(captureDir);
+            for (exp::ExperimentSpec &spec : sweep.jobs)
+                spec.captureFile = tracePathFor(spec, captureDir);
+        }
+        if (!replayDir.empty()) {
+            for (exp::ExperimentSpec &spec : sweep.jobs)
+                spec.traceFile = tracePathFor(spec, replayDir);
         }
 
         if (listOnly) {
