@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -141,6 +142,14 @@ runBspCell(const std::string &preset, model::PersistencyModel pm,
     spec.ops = opsPerThread;
     spec.seed = seed;
     return runSpec(spec, tweak);
+}
+
+double
+minOfN(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
 }
 
 double

@@ -92,6 +92,15 @@ const Row &runBspCell(const std::string &preset,
                       const std::function<void(model::SystemConfig &)>
                           &tweak = {});
 
+/**
+ * Min-of-N reduction for repeated wall-clock measurements: the minimum
+ * is the standard estimator for "how fast can this host run it" (every
+ * source of noise only adds time). Used by the manual-timing benches;
+ * the scripts/bench_*.sh emitters apply the same reduction via
+ * scripts/bench_lib.py.
+ */
+double minOfN(const std::vector<double> &xs);
+
 /** Geometric mean of @p xs (which must be positive). */
 double gmean(const std::vector<double> &xs);
 

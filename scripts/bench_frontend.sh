@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_frontend.json: the per-op front-end benchmark.
+#
+# Times the Figure 14 LB column (9 workloads x LB config, 32 cores,
+# 20000 ops — every op crosses the core issue loop, write buffer, L1
+# access path, and epoch-tagging handshake this benchmark tracks)
+# through persim_sweep, REPS repetitions, reporting the minimum
+# wall-clock. Byte-compares the --no-stats JSON across repetitions —
+# and, when a baseline is given, across binaries — because the
+# front-end fast paths must not change simulated behaviour, only host
+# time. Also runs the bench_frontend microbenchmarks (write-buffer
+# ring vs deque+map, integer vs double Distribution::sample, arena vs
+# free-standing Scalar bumps) when the binary is built.
+#
+# To record a before/after pair, point BASELINE_BUILD at a build of the
+# pre-change tree (its persim_sweep must support --only and
+# --timing-out); the script times both binaries back to back and
+# computes the speedup. Without BASELINE_BUILD only the current build
+# is timed.
+#
+# Usage: [BASELINE_BUILD=path] scripts/bench_frontend.sh [build-dir] [out-file]
+set -euo pipefail
+
+build=${1:-build}
+out=${2:-BENCH_frontend.json}
+reps=${REPS:-3}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+find_sweep() { # find_sweep <build-dir-or-binary>
+    if [ -x "$1/tools/persim_sweep" ]; then echo "$1/tools/persim_sweep"
+    elif [ -x "$1/persim_sweep" ]; then echo "$1/persim_sweep"
+    else echo "$1"; fi
+}
+
+run_rep() { # run_rep <build-dir-or-binary> <tag> <rep>
+    local sweep tag=$2 i=$3
+    sweep=$(find_sweep "$1")
+    [ -x "$sweep" ] || { echo "error: $sweep not built" >&2; exit 1; }
+    echo "[$tag] fig14 LB column, rep $i/$reps ..." >&2
+    "$sweep" --figure 14 --only /LB/ --jobs 1 --quiet --no-stats \
+        --out "$tmp/$tag.$i.json" \
+        --timing-out "$tmp/$tag.$i.timing.json" >/dev/null
+    cmp -s "$tmp/$tag.1.json" "$tmp/$tag.$i.json" \
+        || { echo "error: rep $i output differs (nondeterminism)" >&2
+             exit 1; }
+}
+
+# Reps interleave after/before so slow host drift (thermal, noisy
+# neighbours) hits both binaries alike instead of one block.
+for i in $(seq 1 "$reps"); do
+    run_rep "$build" after "$i"
+    [ -n "${BASELINE_BUILD:-}" ] && run_rep "$BASELINE_BUILD" before "$i"
+done
+if [ -n "${BASELINE_BUILD:-}" ]; then
+    cmp -s "$tmp/after.1.json" "$tmp/before.1.json" \
+        || { echo "error: baseline output differs (behaviour change)" >&2
+             exit 1; }
+fi
+
+micro="$build/bench/bench_frontend"
+if [ -x "$micro" ]; then
+    echo "[micro] bench_frontend ..." >&2
+    "$micro" --benchmark_format=json \
+        --benchmark_out="$tmp/micro.json" >/dev/null
+fi
+
+export BENCH_LIB
+BENCH_LIB=$(cd "$(dirname "$0")" && pwd)
+python3 - "$tmp" "$out" "$reps" <<'EOF'
+import json, os, sys
+
+sys.path.insert(0, os.environ["BENCH_LIB"])
+import bench_lib
+
+tmp, out, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+after = bench_lib.min_wall(tmp, "after", reps)
+before = bench_lib.min_wall(tmp, "before", reps)
+doc = {
+    "benchmark": "persim_sweep --figure 14 --only /LB/ "
+                 "(9 workloads x LB, 32 cores, 20000 ops, --jobs 1)",
+    "metric": "min wall-clock over reps",
+    "wallMs": round(after, 1),
+}
+if before is not None:
+    doc["baselineWallMs"] = round(before, 1)
+    doc["speedup"] = round(before / after, 3)
+
+micro_path = os.path.join(tmp, "micro.json")
+if os.path.exists(micro_path):
+    micro = json.load(open(micro_path))
+    times = {}
+    for b in micro.get("benchmarks", []):
+        if "real_time" in b:
+            times[b["name"]] = round(b["real_time"], 1)
+    doc["microNs"] = times
+bench_lib.emit(out, doc, reps=reps)
+EOF

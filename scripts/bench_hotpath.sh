@@ -40,35 +40,26 @@ if [ -n "${BASELINE_BUILD:-}" ]; then
     run_cell "$BASELINE_BUILD/tools/persim_sweep" before
 fi
 
+export BENCH_LIB
+BENCH_LIB=$(cd "$(dirname "$0")" && pwd)
 python3 - "$tmp" "$out" "$reps" <<'EOF'
-import json, os, sys
+import os, sys
+
+sys.path.insert(0, os.environ["BENCH_LIB"])
+import bench_lib
 
 tmp, out, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
 
-def min_wall(tag):
-    walls = []
-    for i in range(1, reps + 1):
-        path = os.path.join(tmp, f"{tag}.{i}.timing.json")
-        if not os.path.exists(path):
-            return None
-        walls.append(json.load(open(path))["wallMs"])
-    return min(walls)
-
-after = min_wall("after")
-before = min_wall("before")
+after = bench_lib.min_wall(tmp, "after", reps)
+before = bench_lib.min_wall(tmp, "before", reps)
 doc = {
     "benchmark": "persim_sweep --figure 14 --only /LB/ "
                  "(9 workloads x LB, 32 cores, 20000 ops, --jobs 1)",
-    "reps": reps,
     "metric": "min wall-clock over reps",
-    "hostCpus": os.cpu_count(),
     "wallMs": round(after, 1),
 }
 if before is not None:
     doc["baselineWallMs"] = round(before, 1)
     doc["speedup"] = round(before / after, 3)
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
+bench_lib.emit(out, doc, reps=reps)
 EOF

@@ -1,0 +1,70 @@
+"""Shared emitter for the scripts/bench_*.sh result files.
+
+Every BENCH_*.json carries the same envelope — ``hostCpus``, ``reps``,
+``gitSha`` — so results from different machines and commits can be
+compared without archaeology, and the min-of-N wall-clock reduction
+lives in one place instead of drifting per script.
+
+The bash scripts export ``BENCH_LIB=<scripts dir>`` and their embedded
+python does::
+
+    sys.path.insert(0, os.environ["BENCH_LIB"])
+    import bench_lib
+
+``emit(out, doc, reps=...)`` stamps the envelope and writes/prints the
+JSON; ``min_wall``/``collect`` reduce per-repetition --timing-out files.
+"""
+
+import json
+import os
+import subprocess
+
+
+def git_sha():
+    """The repo HEAD at measurement time (None outside a checkout)."""
+    try:
+        p = subprocess.run(
+            ["git", "-C", os.path.dirname(os.path.abspath(__file__)),
+             "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+        sha = p.stdout.strip()
+        return sha if p.returncode == 0 and sha else None
+    except OSError:
+        return None
+
+
+def collect(tmp, tag, reps):
+    """Min-of-N over ``<tmp>/<tag>.<i>.timing.json``.
+
+    Returns ``{"wallMs": min, "peakRssKb": min-or-None}`` or None when
+    the first repetition file is missing (e.g. no BASELINE_BUILD).
+    """
+    walls, rss = [], []
+    for i in range(1, reps + 1):
+        path = os.path.join(tmp, f"{tag}.{i}.timing.json")
+        if not os.path.exists(path):
+            return None
+        with open(path) as f:
+            t = json.load(f)
+        walls.append(t["wallMs"])
+        if "peakRssKb" in t:
+            rss.append(t["peakRssKb"])
+    return {"wallMs": min(walls), "peakRssKb": min(rss) if rss else None}
+
+
+def min_wall(tmp, tag, reps):
+    """Just the min wall-clock (ms) of ``collect``, or None."""
+    c = collect(tmp, tag, reps)
+    return None if c is None else c["wallMs"]
+
+
+def emit(out, doc, reps=None):
+    """Stamp the standard envelope onto ``doc``, write and print it."""
+    doc.setdefault("hostCpus", os.cpu_count())
+    if reps is not None:
+        doc.setdefault("reps", reps)
+    doc.setdefault("gitSha", git_sha())
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(json.dumps(doc, indent=2))

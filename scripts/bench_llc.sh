@@ -53,31 +53,22 @@ if [ -n "${BASELINE_BUILD:-}" ]; then
              exit 1; }
 fi
 
+export BENCH_LIB
+BENCH_LIB=$(cd "$(dirname "$0")" && pwd)
 python3 - "$tmp" "$out" "$reps" <<'EOF'
-import json, os, sys
+import os, sys
+
+sys.path.insert(0, os.environ["BENCH_LIB"])
+import bench_lib
 
 tmp, out, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
 
-def collect(tag):
-    walls, rss = [], []
-    for i in range(1, reps + 1):
-        path = os.path.join(tmp, f"{tag}.{i}.timing.json")
-        if not os.path.exists(path):
-            return None
-        t = json.load(open(path))
-        walls.append(t["wallMs"])
-        if "peakRssKb" in t:
-            rss.append(t["peakRssKb"])
-    return {"wallMs": min(walls), "peakRssKb": min(rss) if rss else None}
-
-after = collect("after")
-before = collect("before")
+after = bench_lib.collect(tmp, "after", reps)
+before = bench_lib.collect(tmp, "before", reps)
 doc = {
     "benchmark": "persim_sweep --figure 14 --only /LB/ "
                  "(9 workloads x LB, 32 cores, 20000 ops, --jobs 1)",
-    "reps": reps,
     "metric": "min wall-clock / min peak RSS over reps",
-    "hostCpus": os.cpu_count(),
     "wallMs": round(after["wallMs"], 1),
 }
 if after["peakRssKb"] is not None:
@@ -89,8 +80,5 @@ if before is not None:
         doc["baselinePeakRssKb"] = before["peakRssKb"]
         doc["rssRatio"] = round(
             after["peakRssKb"] / before["peakRssKb"], 3)
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
+bench_lib.emit(out, doc, reps=reps)
 EOF

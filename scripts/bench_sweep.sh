@@ -32,8 +32,13 @@ else
     deterministic=false
 fi
 
+export BENCH_LIB
+BENCH_LIB=$(cd "$(dirname "$0")" && pwd)
 python3 - "$tmp" "$out" "$deterministic" <<'EOF'
 import json, os, sys
+
+sys.path.insert(0, os.environ["BENCH_LIB"])
+import bench_lib
 
 tmp, out, deterministic = sys.argv[1], sys.argv[2], sys.argv[3] == "true"
 t1 = json.load(open(os.path.join(tmp, "t1.json")))
@@ -41,7 +46,6 @@ t8 = json.load(open(os.path.join(tmp, "t8.json")))
 doc = {
     "benchmark": "persim_sweep --figure 11 (full grid, 32 cores, 300 ops)",
     "jobCount": t1["jobCount"],
-    "hostCpus": os.cpu_count(),
     "deterministic_j1_vs_j8": deterministic,
     "wallMs_jobs1": round(t1["wallMs"], 1),
     "wallMs_jobs8": round(t8["wallMs"], 1),
@@ -49,10 +53,7 @@ doc = {
     "note": "speedup is bounded by min(8, hostCpus, jobCount); "
             "a 1-CPU host yields ~1.0 by construction",
 }
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
+bench_lib.emit(out, doc, reps=1)
 EOF
 
 $deterministic || { echo "error: sweep output not deterministic!" >&2; exit 1; }

@@ -59,18 +59,19 @@ echo "[micro] bench_trace ..." >&2
 
 traceBytes=$(du -sk "$tmp/traces" | cut -f1)
 
+export BENCH_LIB
+BENCH_LIB=$(cd "$(dirname "$0")" && pwd)
 python3 - "$tmp" "$out" "$reps" "$traceBytes" <<'EOF'
 import json, os, sys
+
+sys.path.insert(0, os.environ["BENCH_LIB"])
+import bench_lib
 
 tmp, out, reps, trace_kb = (sys.argv[1], sys.argv[2], int(sys.argv[3]),
                             int(sys.argv[4]))
 
 def wall(tag):
-    walls = []
-    for i in range(1, reps + 1):
-        t = json.load(open(os.path.join(tmp, f"{tag}.{i}.timing.json")))
-        walls.append(t["wallMs"])
-    return min(walls)
+    return bench_lib.min_wall(tmp, tag, reps)
 
 base, cap, rep = wall("baseline"), wall("capture"), wall("replay")
 micro = json.load(open(os.path.join(tmp, "micro.json")))

@@ -85,6 +85,22 @@ class CacheArray
         return const_cast<CacheArray *>(this)->find(addr);
     }
 
+    /**
+     * Host-side hint: pull @p addr's set (tags and first metadata
+     * records) toward the host caches ahead of a find()/victimFor()
+     * that runs a few events later. Purely a performance hint — no
+     * simulated effect whatsoever.
+     */
+    void
+    prefetchSet(Addr addr)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(lineAlign(addr))) *
+            _geom.ways;
+        __builtin_prefetch(&_tags[base]);
+        __builtin_prefetch(&_lines[base]);
+    }
+
     /** Mark @p line most recently used. */
     void touch(CacheLine &line);
 

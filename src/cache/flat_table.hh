@@ -148,6 +148,21 @@ class FlatAddrMap
         }
     }
 
+    /** Empty the table, keeping its grown capacity for reuse. */
+    void
+    clear()
+    {
+        if (_size == 0)
+            return;
+        for (Slot &s : _slots) {
+            if (s.key != kEmptyKey) {
+                s.key = kEmptyKey;
+                s.value = V{};
+            }
+        }
+        _size = 0;
+    }
+
   private:
     struct Slot
     {

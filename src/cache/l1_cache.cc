@@ -37,19 +37,10 @@ L1Cache::L1Cache(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
 }
 
 void
-L1Cache::access(Addr addr, bool isWrite,
-                InlineCallback onComplete)
+L1Cache::stagePop()
 {
-    addr = lineAlign(addr);
-    if (isWrite)
-        ++_stores;
-    else
-        ++_loads;
-    scheduleIn(_cfg.accessLatency,
-               [this, addr, isWrite,
-                onComplete = std::move(onComplete)]() mutable {
-                   accessStage2(addr, isWrite, std::move(onComplete));
-               });
+    StagedAccess s = _staged.pop();
+    accessStage2(s.addr, s.isWrite, std::move(s.onComplete));
 }
 
 void
@@ -131,6 +122,18 @@ L1Cache::performStore(Addr addr, InlineCallback onComplete)
 {
     CacheLine *line = _array.find(addr);
     simAssert(line, name(), ": performStore on absent line");
+    // Fast path: no conflict possible (untagged line or same-epoch
+    // coalescing) — perform in place without building the re-validating
+    // continuation below, which is only needed when resolution may have
+    // waited (and so flushed or dropped the line) before running it.
+    if (_pc.tryFastStore(_core, *line)) {
+        line->setState(CoherenceState::Modified);
+        line->setDirty(true);
+        _array.touch(*line);
+        _pc.afterL1Store(_core, *line);
+        onComplete();
+        return;
+    }
     _pc.beforeL1Store(
         _core, *line,
         [this, addr, onComplete = std::move(onComplete)]() mutable {
@@ -139,7 +142,7 @@ L1Cache::performStore(Addr addr, InlineCallback onComplete)
             CacheLine *l = _array.find(addr);
             if (!l || (l->state() != CoherenceState::Modified &&
                        l->state() != CoherenceState::Exclusive)) {
-                std::vector<PendingAccess> q;
+                std::vector<PendingAccess> q = _mshrs.takeSpare();
                 q.push_back(PendingAccess{true, _core,
                                           std::move(onComplete)});
                 replayNext(addr, std::move(q), 0);
@@ -193,6 +196,7 @@ L1Cache::replayNext(Addr addr, std::vector<PendingAccess> queue,
                     std::size_t idx)
 {
     if (idx >= queue.size()) {
+        _mshrs.recycle(std::move(queue));
         serviceDeferred();
         return;
     }
@@ -237,6 +241,7 @@ resend:
     if (_mshrs.has(addr)) {
         for (std::size_t i = idx; i < queue.size(); ++i)
             _mshrs.merge(addr, std::move(queue[i]));
+        _mshrs.recycle(std::move(queue));
         return;
     }
     if (_mshrs.full()) {
@@ -253,6 +258,7 @@ resend:
     _mshrs.allocate(addr, anyWrite, std::move(queue[idx]));
     for (std::size_t i = idx + 1; i < queue.size(); ++i)
         _mshrs.merge(addr, std::move(queue[i]));
+    _mshrs.recycle(std::move(queue));
     probeMshrEpisode();
     sendMiss(addr, anyWrite, PendingAccess{anyWrite, _core, {}});
 }
@@ -290,6 +296,9 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
     const Addr addr = line.addr();
     LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
     const bool dirty = line.dirty();
+    // Warm the bank set while the mesh-bandwidth work below runs; both
+    // the inclusion probe and acceptWriteback() hit it.
+    bank.array().prefetchSet(addr);
 
     tracef("WB", *this, "writeback 0x", std::hex, addr, std::dec,
            " kind=", int(kind), " dirty=", dirty, " tagged=",
@@ -303,8 +312,9 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
         _ni.sendControl(bank.nodeId(), [] {});
     }
 
+    CacheLine *llcLine = nullptr;
     if (dirty) {
-        CacheLine *llcLine = bank.find(addr);
+        llcLine = bank.find(addr);
         simAssert(llcLine, name(), ": inclusion violated for 0x",
                   std::hex, addr, std::dec, " (state ",
                   int(line.state()), ", tagged ", line.tagged(),
@@ -313,7 +323,7 @@ L1Cache::writebackLine(CacheLine &line, WritebackKind kind)
         if (line.tagged())
             _pc.onL1Writeback(_core, line, *llcLine, bank.bankIdx());
     }
-    bank.acceptWriteback(_core, addr, dirty, kind);
+    bank.acceptWriteback(_core, addr, dirty, kind, llcLine);
 
     switch (kind) {
       case WritebackKind::Eviction:
@@ -353,8 +363,10 @@ L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
             // State syncs here; the reply message below carries the data
             // (so the writeback itself must not double-charge the mesh).
             LlcBank &bank = _pc.bank(homeBankOf(addr, _pc.numBanks()));
+            bank.array().prefetchSet(addr);
+            CacheLine *llcLine = nullptr;
             if (hadDirty) {
-                CacheLine *llcLine = bank.find(addr);
+                llcLine = bank.find(addr);
                 simAssert(llcLine, name(), ": inclusion violated");
                 llcLine->setDirty(true);
                 if (line->tagged())
@@ -363,7 +375,8 @@ L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
             }
             bank.acceptWriteback(_core, addr, hadDirty,
                                  forWrite ? WritebackKind::DowngradeToInvalid
-                                          : WritebackKind::DowngradeToShared);
+                                          : WritebackKind::DowngradeToShared,
+                                 llcLine);
             if (forWrite) {
                 _array.invalidate(*line);
             } else {
@@ -430,8 +443,15 @@ L1Cache::issueNvmWrite(Addr addr, CoreId core, EpochId epoch, bool isLog,
     req.isLog = isLog;
     req.replyTo = _ni.nodeId();
     req.onPersist = std::move(onAckHere);
-    _ni.sendData(mc.nodeId(), [mcPtr, req = std::move(req)]() mutable {
-        mcPtr->handleWrite(std::move(req));
+    // The request (its completion callback included) would overflow the
+    // inline-callback buffer if captured; park it in the pool and ship
+    // only the index — the pooled node is recycled at delivery.
+    const std::uint32_t idx = _nvmReqPool.alloc(std::move(req));
+    NodePool<nvm::WriteReq> *pool = &_nvmReqPool;
+    _ni.sendData(mc.nodeId(), [mcPtr, pool, idx] {
+        nvm::WriteReq r = std::move(pool->at(idx));
+        pool->release(idx);
+        mcPtr->handleWrite(std::move(r));
     });
 }
 

@@ -10,10 +10,13 @@
 #include <string>
 
 #include "cache/cache_array.hh"
+#include "cache/flat_table.hh"
 #include "cache/mshr.hh"
 #include "noc/network_interface.hh"
+#include "nvm/memory_controller.hh"
 #include "sim/inline_callback.hh"
 #include "persist/flush_engine.hh"
+#include "sim/pending_ring.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -70,11 +73,33 @@ class L1Cache : public SimObject
     /**
      * Perform a load or store to @p addr.
      *
+     * Header-inlined fast path (DESIGN.md §3a.2): the payload is
+     * staged in a ring and the +accessLatency event carries only
+     * `this` — an 8-byte capture that always fits the inline-callback
+     * buffer, where the old per-access lambda (addr + kind + the
+     * completion callback) spilled to the callback arena on every
+     * access. The tag probe still happens at +accessLatency
+     * (stagePop), so hit/miss decisions observe exactly the state the
+     * unstaged path did and figure output is unchanged. FIFO pop
+     * order matches push order because every staged event is
+     * scheduled with the same delay and the event queue breaks
+     * same-tick ties in schedule order.
+     *
      * @param onComplete Runs when the access has performed. Stores are
      *        epoch-tagged at completion time by the persist controller.
      */
-    void access(Addr addr, bool isWrite,
-                InlineCallback onComplete);
+    void
+    access(Addr addr, bool isWrite, InlineCallback onComplete)
+    {
+        addr = lineAlign(addr);
+        if (isWrite)
+            ++_stores;
+        else
+            ++_loads;
+        _array.prefetchSet(addr); // tag probe runs at +accessLatency
+        _staged.push(StagedAccess{addr, isWrite, std::move(onComplete)});
+        scheduleIn(_cfg.accessLatency, [this] { stagePop(); });
+    }
 
     /**
      * Best-effort exclusive (RFO) prefetch: acquire ownership of
@@ -148,6 +173,16 @@ class L1Cache : public SimObject
     std::size_t mshrOccupancy() const { return _mshrs.size(); }
 
   private:
+    /** One access parked between issue and the +accessLatency stage. */
+    struct StagedAccess
+    {
+        Addr addr = 0;
+        bool isWrite = false;
+        InlineCallback onComplete;
+    };
+
+    /** Dequeue the oldest staged access and run stage 2. */
+    void stagePop();
     void accessStage2(Addr addr, bool isWrite,
                       InlineCallback onComplete);
     /** Try to perform a store on a resident exclusive line. */
@@ -172,6 +207,18 @@ class L1Cache : public SimObject
     CacheArray _array;
     MshrFile _mshrs;
     persist::FlushEngine _flushEngine;
+
+    /** Accesses staged by access() awaiting their +accessLatency slot. */
+    PendingRing<StagedAccess> _staged;
+
+    /**
+     * Pooled NVRAM write requests in flight to a memory controller
+     * (undo log, checkpoint, write-through stores). The mesh-delivery
+     * event captures only {mc, pool, index}, so the request — whose
+     * embedded completion callback would overflow the inline-callback
+     * buffer — rides in the pool instead of the callback arena.
+     */
+    NodePool<nvm::WriteReq> _nvmReqPool;
 
     /** Accesses deferred because the MSHR file was full. */
     std::deque<InlineCallback> _deferred;

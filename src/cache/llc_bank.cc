@@ -71,6 +71,10 @@ LlcBank::handleRequest(Addr addr, bool isWrite, CoreId core)
 {
     ++_requests;
     addr = lineAlign(addr);
+    // The tag probe happens in lookupStage, accessLatency ticks (and
+    // several host-side events) from now — start the set's tag lines
+    // toward the host caches while that work retires.
+    _array.prefetchSet(addr);
     LineEntry &e = _lines.insertOrFind(addr);
     const bool wasIdle = e.txns.empty();
     e.txns.pushBack(_txnPool, _txnPool.alloc(Txn{addr, isWrite, core}));
@@ -462,10 +466,11 @@ LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
 
 void
 LlcBank::acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
-                         WritebackKind kind)
+                         WritebackKind kind, CacheLine *line)
 {
     (void)dirty; // the caller already merged dirty data and moved tags
-    CacheLine *line = _array.find(addr);
+    if (!line)
+        line = _array.find(addr);
     simAssert(line, name(), ": writeback for absent line (inclusion)");
     switch (kind) {
       case WritebackKind::Eviction:

@@ -101,10 +101,12 @@ class LlcBank : public SimObject
     /**
      * Accept an L1 writeback / eviction notice for @p addr and update
      * the directory according to @p kind. Persist-tag movement is done
-     * by the caller through the PersistController.
+     * by the caller through the PersistController. Dirty-path callers
+     * that already resolved the bank line (for the dirty-bit merge)
+     * pass it as @p line to skip the second tag probe.
      */
     void acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
-                         WritebackKind kind);
+                         WritebackKind kind, CacheLine *line = nullptr);
 
     // ------------------------------------------------------------------
     // Epoch-flush protocol (§4.1)

@@ -46,10 +46,11 @@ MshrFile::release(Addr addr)
 {
     Entry *e = find(lineAlign(addr));
     simAssert(e, "MSHR release without entry");
-    std::vector<PendingAccess> out;
-    // Swap rather than move: the slot keeps an (empty) vector object and
-    // the caller gets the queued accesses; the next allocate on this slot
-    // pushes into a vector that will quickly regrow to steady state.
+    // The caller gets the queued accesses; the slot is refilled with a
+    // pooled buffer so the next allocate pushes into grown storage. The
+    // caller recycles the returned vector when its replay walk ends,
+    // closing the loop — no allocation on the steady-state miss path.
+    std::vector<PendingAccess> out = takeSpare();
     out.swap(e->waiting);
     e->addr = kFree;
     e->forWrite = false;

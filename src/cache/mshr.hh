@@ -63,9 +63,32 @@ class MshrFile
 
     /**
      * Release the entry for @p addr and return its queued accesses in
-     * arrival order.
+     * arrival order. The returned vector's buffer comes from the spare
+     * pool (or the slot itself); hand it back via recycle() once the
+     * replay walk finishes so steady-state misses allocate nothing.
      */
     std::vector<PendingAccess> release(Addr addr);
+
+    /** Return a vector obtained from release()/takeSpare() to the pool. */
+    void
+    recycle(std::vector<PendingAccess> &&q)
+    {
+        if (_spare.size() >= _entries.size())
+            return; // enough buffers banked for every slot
+        q.clear();
+        _spare.push_back(std::move(q));
+    }
+
+    /** A pooled empty vector (replay-queue construction off-register). */
+    std::vector<PendingAccess>
+    takeSpare()
+    {
+        if (_spare.empty())
+            return {};
+        std::vector<PendingAccess> q = std::move(_spare.back());
+        _spare.pop_back();
+        return q;
+    }
 
     std::size_t size() const { return _live; }
     unsigned capacity() const
@@ -102,6 +125,8 @@ class MshrFile
     }
 
     std::vector<Entry> _entries;
+    /** Recycled replay-queue buffers (capped at one per slot). */
+    std::vector<std::vector<PendingAccess>> _spare;
     std::size_t _live = 0;
 };
 

@@ -76,7 +76,7 @@ Core::issueLoad(Addr addr)
 {
     ++_loads;
     ++_ops;
-    if (_wb.containsLine(addr) || _inflightLines.contains(lineNum(addr))) {
+    if (_wb.containsLine(addr) || inflightContains(lineNum(addr))) {
         ++_forwards;
         scheduleIn(1, [this, addr] {
             _workload->onLoadComplete(addr, curTick());
@@ -86,7 +86,7 @@ Core::issueLoad(Addr addr)
     }
     const Tick start = curTick();
     _l1->access(addr, false, [this, addr, start] {
-        _loadLatency.sample(static_cast<double>(curTick() - start));
+        _loadLatency.sample(curTick() - start);
         _workload->onLoadComplete(addr, curTick());
         scheduleIn(1, [this] { step(); });
     });
@@ -152,7 +152,7 @@ Core::pumpDrain()
         const Addr addr = _wb.front().addr;
         _wb.pop();
         ++_drainInflight;
-        ++_inflightLines[lineNum(addr)];
+        inflightAdd(lineNum(addr));
         _l1->access(addr, true, [this, addr] {
             if (_cfg.writeThrough) {
                 // Naive strict persistency: the store is not complete
@@ -173,9 +173,7 @@ void
 Core::onDrainComplete(Addr addr)
 {
     --_drainInflight;
-    auto it = _inflightLines.find(lineNum(addr));
-    if (it != _inflightLines.end() && --it->second == 0)
-        _inflightLines.erase(it);
+    inflightRemove(lineNum(addr));
     if (_stalledOnWb) {
         _stalledOnWb = false;
         issueStore(_pendingStoreAddr);
@@ -189,6 +187,39 @@ Core::onDrainComplete(Addr addr)
     } else {
         pumpDrain();
     }
+}
+
+void
+Core::inflightAdd(Addr line)
+{
+    for (unsigned i = 0; i < _inflightCount; ++i) {
+        if (_inflightLines[i].line == line) {
+            ++_inflightLines[i].refs;
+            return;
+        }
+    }
+    simAssert(_inflightCount < _inflightLines.size(), name(),
+              ": in-flight line table overflow (raise the array size "
+              "alongside the drain-way count)");
+    _inflightLines[_inflightCount].line = line;
+    _inflightLines[_inflightCount].refs = 1;
+    ++_inflightCount;
+}
+
+void
+Core::inflightRemove(Addr line)
+{
+    for (unsigned i = 0; i < _inflightCount; ++i) {
+        if (_inflightLines[i].line != line)
+            continue;
+        if (--_inflightLines[i].refs == 0) {
+            _inflightLines[i] = _inflightLines[_inflightCount - 1];
+            --_inflightCount;
+        }
+        return;
+    }
+    panic(name(), ": in-flight line 0x", std::hex, line << kLineShift,
+          std::dec, " completed without a table entry");
 }
 
 void

@@ -6,8 +6,8 @@
 #ifndef PERSIM_CPU_CORE_HH
 #define PERSIM_CPU_CORE_HH
 
+#include <array>
 #include <string>
-#include <unordered_map>
 
 #include "cpu/mem_op.hh"
 #include "cpu/workload_iface.hh"
@@ -119,8 +119,32 @@ class Core : public SimObject
     bool _barrierPending = false;
     Addr _pendingStoreAddr = 0;
     unsigned _drainInflight = 0;
-    /** Lines with an in-flight drained store (load forwarding). */
-    std::unordered_map<Addr, unsigned> _inflightLines;
+    /**
+     * Lines with an in-flight drained store (load forwarding). The
+     * drain pump keeps at most drainWays (= 1) stores outstanding, so
+     * a tiny fixed scan array replaces the hash map the per-op path
+     * used to probe; slots is sized with slack and overflow panics.
+     */
+    struct InflightLine
+    {
+        Addr line = 0;
+        unsigned refs = 0;
+    };
+    std::array<InflightLine, 4> _inflightLines{};
+    unsigned _inflightCount = 0;
+
+    bool
+    inflightContains(Addr line) const
+    {
+        for (unsigned i = 0; i < _inflightCount; ++i) {
+            if (_inflightLines[i].line == line)
+                return true;
+        }
+        return false;
+    }
+    void inflightAdd(Addr line);
+    void inflightRemove(Addr line);
+
     Tick _startTick = 0;
     Tick _doneTick = kTickNever;
     std::uint64_t _storesSinceBarrier = 0;

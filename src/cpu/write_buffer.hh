@@ -6,9 +6,11 @@
 #ifndef PERSIM_CPU_WRITE_BUFFER_HH
 #define PERSIM_CPU_WRITE_BUFFER_HH
 
-#include <deque>
-#include <unordered_map>
+#include <array>
+#include <cstdint>
+#include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace persim::cpu
@@ -18,8 +20,17 @@ namespace persim::cpu
  * A FIFO store buffer.
  *
  * Stores retire into the buffer immediately and drain to the L1 in
- * program order (TSO); loads snoop the buffer for forwarding. Entries
- * record the epoch the store was tagged with at execution time.
+ * program order (TSO); loads snoop the buffer for forwarding.
+ *
+ * The buffer is a fixed ring sized at construction (capacity rounded
+ * up to a power of two — one allocation, ever), so push and pop are a
+ * slot write and an index bump with no heap traffic. Load forwarding
+ * (containsLine) is answered by a 64-slot line-hash filter of small
+ * reference counts: the common negative probe is one array read, and
+ * only a filter hit pays the exact scan over the (at most
+ * capacity-entry) ring. The filter counts are exact per hash slot, so
+ * the scan answer — and therefore forwarding behaviour — is identical
+ * to the address-set bookkeeping this replaced.
  */
 class WriteBuffer
 {
@@ -29,32 +40,86 @@ class WriteBuffer
         Addr addr = 0;
     };
 
-    explicit WriteBuffer(unsigned capacity) : _capacity(capacity) {}
+    explicit WriteBuffer(unsigned capacity) : _capacity(capacity)
+    {
+        simAssert(capacity > 0, "write buffer needs at least one entry");
+        simAssert(capacity <= 255,
+                  "write-buffer filter counts are 8-bit; capacity > 255 "
+                  "needs wider counters");
+        unsigned ringSize = 1;
+        while (ringSize < capacity)
+            ringSize <<= 1;
+        _mask = ringSize - 1;
+        _ring.resize(ringSize);
+    }
 
-    bool full() const { return _fifo.size() >= _capacity; }
-    bool empty() const { return _fifo.empty(); }
-    std::size_t size() const { return _fifo.size(); }
+    bool full() const { return _size >= _capacity; }
+    bool empty() const { return _size == 0; }
+    std::size_t size() const { return _size; }
     unsigned capacity() const { return _capacity; }
 
     /** Append a store; the buffer must not be full. */
-    void push(Addr addr);
+    void
+    push(Addr addr)
+    {
+        simAssert(!full(), "write-buffer overflow");
+        const Addr line = lineAlign(addr);
+        _ring[(_head + _size) & _mask].addr = line;
+        ++_size;
+        ++_lineRefs[filterSlot(line)];
+    }
 
     /** Oldest store (drain candidate); buffer must be non-empty. */
-    const Entry &front() const { return _fifo.front(); }
+    const Entry &
+    front() const
+    {
+        simAssert(!empty(), "write-buffer front on empty buffer");
+        return _ring[_head];
+    }
 
     /** Remove the oldest store after it performed. */
-    void pop();
+    void
+    pop()
+    {
+        simAssert(!empty(), "write-buffer underflow");
+        std::uint8_t &refs = _lineRefs[filterSlot(_ring[_head].addr)];
+        simAssert(refs != 0, "write-buffer count corrupt");
+        --refs;
+        _head = (_head + 1) & _mask;
+        --_size;
+    }
 
     /** True if a buffered store targets @p addr's line (forwarding). */
-    bool containsLine(Addr addr) const
+    bool
+    containsLine(Addr addr) const
     {
-        return _lineCounts.contains(lineNum(addr));
+        const Addr line = lineAlign(addr);
+        if (_lineRefs[filterSlot(line)] == 0)
+            return false;
+        for (unsigned i = 0; i < _size; ++i) {
+            if (_ring[(_head + i) & _mask].addr == line)
+                return true;
+        }
+        return false;
     }
 
   private:
+    /** Fibonacci-hash the line number into one of 64 filter slots. */
+    static unsigned
+    filterSlot(Addr line)
+    {
+        return static_cast<unsigned>(
+            (lineNum(line) * UINT64_C(0x9E3779B97F4A7C15)) >> 58);
+    }
+
     unsigned _capacity;
-    std::deque<Entry> _fifo;
-    std::unordered_map<Addr, unsigned> _lineCounts;
+    unsigned _mask;
+    unsigned _head = 0;
+    unsigned _size = 0;
+    std::vector<Entry> _ring;
+    /** Per-hash-slot count of buffered stores; 0 means "definitely not
+     * buffered", the exactness the forwarding check needs. */
+    std::array<std::uint8_t, 64> _lineRefs{};
 };
 
 } // namespace persim::cpu

@@ -134,7 +134,7 @@ Mesh::send(unsigned src, unsigned dst, unsigned bytes,
     Tick start = route.eject->reserve(cursor, flits);
     Tick arrival = start + _cfg.linkLatency + (flits - 1);
 
-    _latency.sample(static_cast<double>(arrival - curTick()));
+    _latency.sample(arrival - curTick());
     eventQueue().schedule(arrival, std::move(onDeliver));
     return arrival;
 }

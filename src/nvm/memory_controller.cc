@@ -26,7 +26,7 @@ MemoryController::handleWrite(WriteReq req)
 {
     const Tick now = curTick();
     const Tick durable = _nvram.write(now, req.addr);
-    _writeLatency.sample(static_cast<double>(durable - now));
+    _writeLatency.sample(durable - now);
     if (req.isLog)
         _logWrites.inc();
     if (durable > _lastDurable)

@@ -27,7 +27,7 @@ Nvram::service(Tick now, Addr addr, Tick latency, Scalar &counter,
 {
     Tick &free = _bankFree[bankOf(addr)];
     Tick start = std::max(now, free);
-    queueing.sample(static_cast<double>(start - now));
+    queueing.sample(start - now);
     free = start + latency;
     counter.inc();
     return free;

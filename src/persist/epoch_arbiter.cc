@@ -54,6 +54,7 @@ EpochArbiter::EpochArbiter(const std::string &name, EventQueue &eq,
       statFlushLatency(&statGroup, "flushLatency",
                        "cycles from flush start to PersistCMP")
 {
+    refreshCurrent();
 }
 
 Epoch *
@@ -67,15 +68,6 @@ EpochArbiter::mustFind(EpochId epoch)
 // ---------------------------------------------------------------------
 // Core-side interface
 // ---------------------------------------------------------------------
-
-Epoch &
-EpochArbiter::notePerformedStore()
-{
-    Epoch &e = _table.current();
-    simAssert(!e.closed, name(), ": store performed into a closed epoch");
-    ++e.storeCount;
-    return e;
-}
 
 void
 EpochArbiter::barrier(InlineCallback cont)
@@ -93,6 +85,7 @@ EpochArbiter::barrier(InlineCallback cont)
         return;
     }
     Epoch &prefix = _table.closeCurrentAndOpen(curTick());
+    refreshCurrent();
     const EpochId prefixId = prefix.id;
     auto closeWaiters = std::move(prefix.closeWaiters);
     maybeComplete(prefix);
@@ -120,6 +113,7 @@ EpochArbiter::drain(InlineCallback cont)
             return;
         }
         Epoch &prefix = _table.closeCurrentAndOpen(curTick());
+        refreshCurrent();
         auto closeWaiters = std::move(prefix.closeWaiters);
         maybeComplete(prefix);
         for (auto &w : closeWaiters)
@@ -182,6 +176,7 @@ EpochArbiter::splitNow(FlushCause cause,
         return;
     }
     Epoch &prefix = _table.closeCurrentAndOpen(curTick());
+    refreshCurrent();
     ++statSplits;
     const EpochId prefixId = prefix.id;
     tracef("Epoch", *this, "split: prefix ", prefixId, ", remainder ",
@@ -365,7 +360,7 @@ EpochArbiter::startFlush(Epoch &e)
       case FlushCause::None:
         break;
     }
-    statEpochLines.sample(static_cast<double>(e.linesLive));
+    statEpochLines.sample(static_cast<std::uint64_t>(e.linesLive));
     issueCheckpoint(e);
     maybeBeginBankPhase(e);
 }
@@ -510,8 +505,7 @@ EpochArbiter::declarePersisted(Epoch &e)
     ++statEpochsPersisted;
     if (e.conflicted)
         ++statEpochsConflicted;
-    statFlushLatency.sample(static_cast<double>(curTick() -
-                                                e.flushStartTick));
+    statFlushLatency.sample(curTick() - e.flushStartTick);
     if (trace::probing()) [[unlikely]] {
         // The whole lifecycle (open .. persisted) and the flush phase
         // within it; recorded at close, when both endpoints are known.

@@ -15,6 +15,7 @@
 #include "persist/epoch_table.hh"
 #include "persist/undo_log.hh"
 #include "sim/inline_callback.hh"
+#include "sim/logging.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -55,14 +56,26 @@ class EpochArbiter : public SimObject
     // ------------------------------------------------------------------
 
     /** Epoch id new stores tag (the current ongoing epoch). */
-    EpochId currentEpoch() { return _table.current().id; }
+    EpochId currentEpoch() const { return _cur->id; }
 
     /**
      * A store performed at the L1: it belongs to the current epoch
      * (stores tag at completion time, §2.1).
+     *
+     * Header-inlined via the cached current-epoch pointer — the
+     * common same-epoch (coalescing) store touches no table state
+     * beyond one counter bump. See the _cur invariant below.
+     *
      * @return The current epoch.
      */
-    Epoch &notePerformedStore();
+    Epoch &
+    notePerformedStore()
+    {
+        simAssert(!_cur->closed, name(),
+                  ": store performed into a closed epoch");
+        ++_cur->storeCount;
+        return *_cur;
+    }
 
     /**
      * The core executed a persist barrier (its write buffer already
@@ -87,9 +100,9 @@ class EpochArbiter : public SimObject
     }
 
     /** True if @p epoch is the current ongoing epoch. */
-    bool isOngoing(EpochId epoch)
+    bool isOngoing(EpochId epoch) const
     {
-        return _table.current().id == epoch && !_table.current().closed;
+        return _cur->id == epoch && !_cur->closed;
     }
 
     /**
@@ -192,6 +205,19 @@ class EpochArbiter : public SimObject
     CoreId _core;
     cache::L1Cache *_l1 = nullptr;
     EpochTable _table;
+
+    /**
+     * Cached pointer to the current (Ongoing) epoch's ring slot.
+     *
+     * Invariant (DESIGN.md §3a.2): the EpochTable ring never
+     * reallocates, so the pointer is stable; it goes stale ONLY when
+     * closeCurrentAndOpen() advances the current epoch, and every such
+     * site (barrier, drain, splitNow — the only callers) must refresh
+     * it via refreshCurrent() before the next store can perform.
+     */
+    Epoch *_cur = nullptr;
+
+    void refreshCurrent() { _cur = &_table.current(); }
 
     /** Highest epoch id demanded to persist. */
     EpochId _flushTarget = 0;

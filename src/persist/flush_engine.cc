@@ -7,52 +7,95 @@
 namespace persim::persist
 {
 
+std::size_t
+FlushEngine::indexOf(CoreId core, EpochId epoch) const
+{
+    for (std::size_t i = 0; i < _keys.size(); ++i) {
+        if (_keys[i].core == core && _keys[i].epoch == epoch)
+            return i;
+    }
+    return kNone;
+}
+
+void
+FlushEngine::recycleBucket(std::size_t idx)
+{
+    const std::size_t last = _sets.size() - 1;
+    _spare.push_back(std::move(_sets[idx]));
+    if (idx != last) {
+        _sets[idx] = std::move(_sets[last]);
+        _keys[idx] = _keys[last];
+    }
+    _sets.pop_back();
+    _keys.pop_back();
+}
+
 void
 FlushEngine::addLine(CoreId core, EpochId epoch, Addr addr)
 {
     simAssert(core != kNoCore && epoch != kNoEpoch, _name,
               ": untagged line added to flush engine");
-    auto [it, inserted] = _buckets[Key{core, epoch}].insert(lineAlign(addr));
-    simAssert(inserted, _name, ": line 0x", std::hex, addr, std::dec,
-              " already tracked for core ", core, " epoch ", epoch);
+    std::size_t idx = indexOf(core, epoch);
+    if (idx == kNone) {
+        idx = _sets.size();
+        _keys.push_back(BucketKey{core, epoch});
+        if (!_spare.empty()) {
+            _sets.push_back(std::move(_spare.back()));
+            _spare.pop_back();
+        } else {
+            _sets.emplace_back();
+        }
+    }
+    LineSet &set = _sets[idx];
+    const std::size_t before = set.size();
+    set.insertOrFind(lineAlign(addr));
+    simAssert(set.size() == before + 1, _name, ": line 0x", std::hex, addr,
+              std::dec, " already tracked for core ", core, " epoch ", epoch);
+    ++_totalLines;
 }
 
 bool
 FlushEngine::removeLine(CoreId core, EpochId epoch, Addr addr)
 {
-    auto it = _buckets.find(Key{core, epoch});
-    if (it == _buckets.end())
+    const std::size_t idx = indexOf(core, epoch);
+    if (idx == kNone)
         return false;
-    bool erased = it->second.erase(lineAlign(addr)) > 0;
-    if (it->second.empty())
-        _buckets.erase(it);
+    const bool erased = _sets[idx].erase(lineAlign(addr));
+    if (erased) {
+        --_totalLines;
+        if (_sets[idx].empty())
+            recycleBucket(idx);
+    }
     return erased;
 }
 
 bool
 FlushEngine::hasLine(CoreId core, EpochId epoch, Addr addr) const
 {
-    auto it = _buckets.find(Key{core, epoch});
-    return it != _buckets.end() && it->second.contains(lineAlign(addr));
+    const std::size_t idx = indexOf(core, epoch);
+    return idx != kNone && _sets[idx].find(lineAlign(addr)) != nullptr;
 }
 
 std::size_t
 FlushEngine::count(CoreId core, EpochId epoch) const
 {
-    auto it = _buckets.find(Key{core, epoch});
-    return it == _buckets.end() ? 0 : it->second.size();
+    const std::size_t idx = indexOf(core, epoch);
+    return idx == kNone ? 0 : _sets[idx].size();
 }
 
 std::vector<Addr>
 FlushEngine::takeAll(CoreId core, EpochId epoch)
 {
     std::vector<Addr> out;
-    auto it = _buckets.find(Key{core, epoch});
-    if (it == _buckets.end())
+    const std::size_t idx = indexOf(core, epoch);
+    if (idx == kNone)
         return out;
-    out.assign(it->second.begin(), it->second.end());
+    out.reserve(_sets[idx].size());
+    _sets[idx].forEach([&out](Addr a, char) { out.push_back(a); });
     std::sort(out.begin(), out.end());
-    _buckets.erase(it);
+    _totalLines -= out.size();
+    _sets[idx].clear();
+    recycleBucket(idx);
     return out;
 }
 
@@ -60,21 +103,13 @@ std::vector<Addr>
 FlushEngine::snapshot(CoreId core, EpochId epoch) const
 {
     std::vector<Addr> out;
-    auto it = _buckets.find(Key{core, epoch});
-    if (it == _buckets.end())
+    const std::size_t idx = indexOf(core, epoch);
+    if (idx == kNone)
         return out;
-    out.assign(it->second.begin(), it->second.end());
+    out.reserve(_sets[idx].size());
+    _sets[idx].forEach([&out](Addr a, char) { out.push_back(a); });
     std::sort(out.begin(), out.end());
     return out;
-}
-
-std::size_t
-FlushEngine::totalLines() const
-{
-    std::size_t total = 0;
-    for (const auto &[key, lines] : _buckets)
-        total += lines.size();
-    return total;
 }
 
 } // namespace persim::persist

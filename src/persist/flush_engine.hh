@@ -6,6 +6,15 @@
  * LLC bank) to find an epoch's dirty lines without a full walk. The
  * simulator keeps exact per-epoch address sets — functionally what the
  * bitmap accelerates — and models the walk cost as a per-line issue rate.
+ *
+ * The sets are flat open-addressed tables (cache::FlatAddrMap), not
+ * std::unordered_set: every tagged store lands in addLine(), and the
+ * node-based set showed up in profiles as malloc/rehash churn. Buckets
+ * live in a dense vector keyed by a parallel (core, epoch) array — a
+ * handful are live at any time, so a linear key scan beats hashing —
+ * and emptied buckets park their grown table in a spare pool, so the
+ * per-epoch create/destroy cycle reuses storage instead of
+ * re-allocating it.
  */
 
 #ifndef PERSIM_PERSIST_FLUSH_ENGINE_HH
@@ -13,10 +22,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "cache/flat_table.hh"
 #include "sim/types.hh"
 
 namespace persim::persist
@@ -66,30 +74,35 @@ class FlushEngine
     std::vector<Addr> snapshot(CoreId core, EpochId epoch) const;
 
     /** Total lines tracked across all epochs (diagnostics). */
-    std::size_t totalLines() const;
+    std::size_t totalLines() const { return _totalLines; }
 
     const std::string &name() const { return _name; }
 
   private:
-    struct Key
+    /** The address set of one (core, epoch); values carry no payload. */
+    using LineSet = cache::FlatAddrMap<char>;
+
+    struct BucketKey
     {
         CoreId core;
         EpochId epoch;
-        bool operator==(const Key &o) const = default;
     };
 
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<std::uint64_t>()(
-                (static_cast<std::uint64_t>(k.core) << 48) ^ k.epoch);
-        }
-    };
+    static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
+    /** Index of the (core, epoch) bucket, or kNone. */
+    std::size_t indexOf(CoreId core, EpochId epoch) const;
+
+    /** Park bucket @p idx's table in the spare pool (must be empty). */
+    void recycleBucket(std::size_t idx);
 
     std::string _name;
-    std::unordered_map<Key, std::unordered_set<Addr>, KeyHash> _buckets;
+    /** Parallel arrays: _keys[i] owns the lines in _sets[i]. */
+    std::vector<BucketKey> _keys;
+    std::vector<LineSet> _sets;
+    /** Emptied tables kept for reuse across the epoch lifecycle. */
+    std::vector<LineSet> _spare;
+    std::size_t _totalLines = 0;
 };
 
 } // namespace persim::persist

@@ -133,27 +133,15 @@ PersistController::resolveL1StoreConflict(CoreId core, Addr addr,
     arbiter(core).ensureFlushedUpTo(
         old, FlushCause::IntraThread,
         [this, core, addr, began, cont = std::move(cont)]() mutable {
-            statConflictWait.sample(
-                static_cast<double>(curTick() - began));
+            statConflictWait.sample(curTick() - began);
             resolveL1StoreConflict(core, addr, std::move(cont));
         });
 }
 
 void
-PersistController::afterL1Store(CoreId core, cache::CacheLine &line)
+PersistController::afterL1StoreTagNew(CoreId core, cache::CacheLine &line,
+                                      Epoch &e)
 {
-    if (!_cfg.enabled)
-        return;
-    // Stores tag at completion time with the current epoch (§2.1).
-    Epoch &e = arbiter(core).notePerformedStore();
-    if (line.tagged()) {
-        simAssert(line.epochCore() == core && line.epochId() == e.id,
-                  "store performed over a foreign incarnation: line 0x",
-                  std::hex, line.addr(), std::dec, " tagged (core ",
-                  line.epochCore(), ", epoch ", line.epochId(),
-                  ") but store is (core ", core, ", epoch ", e.id, ")");
-        return; // same-epoch coalescing: nothing new to track
-    }
     line.setTag(core, e.id);
     l1(core).flushEngine().addLine(core, e.id, line.addr());
     ++e.linesLive;

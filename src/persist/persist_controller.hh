@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_line.hh"
 #include "persist/barrier_config.hh"
 #include "persist/epoch_arbiter.hh"
 #include "persist/epoch_observer.hh"
@@ -22,7 +23,6 @@ namespace persim::cache
 {
 class L1Cache;
 class LlcBank;
-class CacheLine;
 } // namespace persim::cache
 
 namespace persim::noc
@@ -90,11 +90,51 @@ class PersistController : public SimObject
                        InlineCallback cont);
 
     /**
+     * Header-inlined fast form of beforeL1Store (DESIGN.md §3a.2):
+     * true when the store may perform immediately — persistence off,
+     * an untagged line, or the common same-epoch coalescing store —
+     * exactly the cases where beforeL1Store would run its continuation
+     * synchronously without touching any state. The caller then skips
+     * constructing the continuation callback entirely; any other case
+     * (stale persisted tag, intra-thread conflict) must go through
+     * beforeL1Store.
+     */
+    bool
+    tryFastStore(CoreId core, const cache::CacheLine &line)
+    {
+        if (!_cfg.enabled || !line.tagged())
+            return true;
+        return line.epochCore() == core &&
+               line.epochId() == arbiter(core).currentEpoch();
+    }
+
+    /**
      * The store performed: tag the line with the core's current epoch
      * (stores tag at completion time), track the incarnation, and (BSP
      * with logging) emit the undo-log write for a first modification.
+     *
+     * Inlined so the same-epoch coalescing store — the bulk of all
+     * stores — is a counter bump plus one assert, with no out-of-line
+     * call; first-touch tagging takes the out-of-line tail.
      */
-    void afterL1Store(CoreId core, cache::CacheLine &line);
+    void
+    afterL1Store(CoreId core, cache::CacheLine &line)
+    {
+        if (!_cfg.enabled)
+            return;
+        // Stores tag at completion time with the current epoch (§2.1).
+        Epoch &e = arbiter(core).notePerformedStore();
+        if (line.tagged()) {
+            simAssert(line.epochCore() == core && line.epochId() == e.id,
+                      "store performed over a foreign incarnation: line "
+                      "0x", std::hex, line.addr(), std::dec, " tagged "
+                      "(core ", line.epochCore(), ", epoch ",
+                      line.epochId(), ") but store is (core ", core,
+                      ", epoch ", e.id, ")");
+            return; // same-epoch coalescing: nothing new to track
+        }
+        afterL1StoreTagNew(core, line, e);
+    }
 
     /**
      * A dirty L1 line was written back into the LLC (natural eviction,
@@ -179,6 +219,10 @@ class PersistController : public SimObject
     /** L1 store conflict fixpoint (intra-thread, §3.2). */
     void resolveL1StoreConflict(CoreId core, Addr addr,
                                 InlineCallback cont);
+
+    /** afterL1Store tail: first store to @p line in epoch @p e. */
+    void afterL1StoreTagNew(CoreId core, cache::CacheLine &line,
+                            Epoch &e);
 
     /** Inter-thread resolution once the source epoch is closed. */
     void resolveInterThreadClosed(CoreId reqCore, bool isWrite,

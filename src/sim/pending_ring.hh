@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A small growable FIFO ring for staged work items.
+ *
+ * The hot-path staging pattern (L1Cache::access, DESIGN.md §3a.2)
+ * parks a move-only payload here and schedules a captureless "pop one"
+ * event: because every staged event is scheduled with the same delay,
+ * the event queue's FIFO tie-break pops them in push order, so the
+ * ring IS the event payload — no per-event capture, no callback-arena
+ * traffic. The ring grows (power-of-two doubling) on the rare
+ * overflow and never shrinks, so steady state performs no allocation.
+ */
+
+#ifndef PERSIM_SIM_PENDING_RING_HH
+#define PERSIM_SIM_PENDING_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace persim
+{
+
+template <typename T>
+class PendingRing
+{
+  public:
+    explicit PendingRing(std::size_t initialCapacity = 8)
+    {
+        std::size_t cap = 2;
+        while (cap < initialCapacity)
+            cap <<= 1;
+        _slots.resize(cap);
+    }
+
+    bool empty() const { return _size == 0; }
+    std::size_t size() const { return _size; }
+    std::size_t capacity() const { return _slots.size(); }
+
+    void
+    push(T &&v)
+    {
+        if (_size == _slots.size())
+            grow();
+        _slots[(_head + _size) & (_slots.size() - 1)] = std::move(v);
+        ++_size;
+    }
+
+    /** Move out the oldest item; the ring must be non-empty. */
+    T
+    pop()
+    {
+        simAssert(_size != 0, "PendingRing pop on empty ring");
+        T out = std::move(_slots[_head]);
+        _head = (_head + 1) & (_slots.size() - 1);
+        --_size;
+        return out;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(_slots.size() * 2);
+        for (std::size_t i = 0; i < _size; ++i)
+            bigger[i] = std::move(_slots[(_head + i) & (_slots.size() - 1)]);
+        _slots.swap(bigger);
+        _head = 0;
+    }
+
+    std::vector<T> _slots;
+    std::size_t _head = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_SIM_PENDING_RING_HH

@@ -11,8 +11,10 @@ namespace persim
 Scalar::Scalar(StatGroup *parent, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
 {
-    if (parent)
+    if (parent) {
+        _value = parent->allocCounter();
         parent->add(this);
+    }
 }
 
 Distribution::Distribution(StatGroup *parent, std::string name,
@@ -49,14 +51,7 @@ Distribution::bucketFor(double v)
     // the uint64 conversion below.
     if (v >= 18446744073709551615.0)
         return kNumBuckets - 1;
-    const std::uint64_t u = static_cast<std::uint64_t>(v);
-    // Small values get exact buckets: u in [0, 2*kSubBuckets).
-    if (u < 2 * kSubBuckets)
-        return static_cast<unsigned>(u);
-    const unsigned exp = static_cast<unsigned>(std::bit_width(u)) - 1;
-    const unsigned sub = static_cast<unsigned>(
-        (u >> (exp - kSubBucketBits)) & (kSubBuckets - 1));
-    return ((exp - kSubBucketBits + 1) << kSubBucketBits) + sub;
+    return bucketFor(static_cast<std::uint64_t>(v));
 }
 
 double
@@ -87,6 +82,11 @@ Distribution::percentile(double p) const
     for (unsigned b = 0; b < kNumBuckets; ++b) {
         seen += _hist[b];
         if (seen >= target) {
+            // Bucket 0 collects every sample <= 0; when the observed
+            // minimum is negative its representative value (0) would
+            // exceed min(), so report min() itself for that bucket.
+            if (b == 0 && min() < 0.0)
+                return min();
             // Clamp the bucket representative into the observed range so
             // p0/p100 agree with min()/max().
             return std::clamp(bucketValue(b), min(), max());

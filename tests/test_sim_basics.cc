@@ -76,6 +76,42 @@ TEST(Stats, DistributionMoments)
     EXPECT_NEAR(d.stdev(), 8.1649, 1e-3);
 }
 
+TEST(Stats, IntegerAndDoubleSamplePathsAgree)
+{
+    // Tick-valued call sites use the integer overload; any value below
+    // 2^53 must land in the same bucket with the same moments as the
+    // double path it replaced.
+    Distribution di(nullptr, "i", "int path");
+    Distribution dd(nullptr, "d", "double path");
+    const std::uint64_t vals[] = {0,   1,    7,     8,        15,
+                                  16,  100,  1023,  1024,     4097,
+                                  1u << 20,  12345, 987654321};
+    for (std::uint64_t v : vals) {
+        di.sample(v);
+        dd.sample(static_cast<double>(v));
+    }
+    EXPECT_EQ(di.count(), dd.count());
+    EXPECT_DOUBLE_EQ(di.sum(), dd.sum());
+    EXPECT_DOUBLE_EQ(di.mean(), dd.mean());
+    EXPECT_DOUBLE_EQ(di.stdev(), dd.stdev());
+    for (double p : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(di.percentile(p), dd.percentile(p)) << p;
+}
+
+TEST(Stats, PercentileNeverExceedsObservedMin)
+{
+    // Negative samples clamp into bucket 0; its representative must be
+    // the observed minimum, not bucket 0's nominal upper bound (0), or
+    // percentile(0) would exceed min().
+    Distribution d(nullptr, "neg", "negatives");
+    d.sample(-5.0);
+    d.sample(10.0);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), -5.0);
+    EXPECT_LE(d.percentile(0.0), d.min());
+    EXPECT_GE(d.percentile(100.0), 10.0);
+}
+
 TEST(Stats, GroupDumpAndMap)
 {
     StatGroup g("cache");
