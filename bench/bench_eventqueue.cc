@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "prof/phase.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_callback.hh"
 #include "sim/trace.hh"
@@ -180,6 +181,36 @@ BM_ScheduleRun_DisabledProbe(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * kEvents));
 }
 BENCHMARK(BM_ScheduleRun_DisabledProbe)->Unit(benchmark::kMillisecond);
+
+/**
+ * The disabled profiler phase-scope path: what every instrumented
+ * component entry pays per event when Sampler::attachThread has not
+ * run on the thread — one inlined thread-local load and a predictable
+ * branch, mirroring BM_ScheduleRun_DisabledProbe for trace probes.
+ * The ISSUE acceptance bar ("--prof off ⇒ sweep wall time within 2%")
+ * rests on this staying at parity with the probe benchmark.
+ */
+void
+BM_ScheduleRun_DisabledPhaseScope(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (std::uint64_t i = 0; i < kEvents; ++i) {
+            eq.schedule(i & 1023, [&sink] {
+                persim::prof::ScopedPhase phase(
+                    persim::prof::Phase::EventLoop);
+                ++sink;
+            });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_ScheduleRun_DisabledPhaseScope)
+    ->Unit(benchmark::kMillisecond);
 
 /** std::function construct+invoke for comparison. */
 void

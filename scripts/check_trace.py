@@ -5,8 +5,10 @@ Checks the invariants Perfetto relies on:
   1. the file is valid JSON with a traceEvents array;
   2. every B event has a stack-matching E event on its (pid, tid) lane;
   3. timestamps are non-decreasing per lane (B/E/X) and strictly
-     increasing per counter track (C);
-  4. optionally, that named counter tracks and span-name prefixes are
+     increasing per counter track (C), tracks keyed by (pid, name);
+  4. every C event carries a non-empty args object whose values are
+     all numeric (Perfetto silently drops anything else);
+  5. optionally, that named counter tracks and span-name prefixes are
      present (--require-counter / --require-span).
 
 Exit status is 0 when every check passes, 1 otherwise.
@@ -34,7 +36,7 @@ def check(path, require_counters, require_spans):
 
     stacks = defaultdict(list)  # (pid, tid) -> [B names]
     lane_ts = {}  # (pid, tid) -> last ts
-    counter_ts = {}  # counter name -> last ts
+    counter_ts = {}  # (pid, counter name) -> last ts
     counters_seen = set()
     span_names = set()
 
@@ -74,11 +76,24 @@ def check(path, require_counters, require_spans):
         elif ph == "C":
             name = ev.get("name")
             counters_seen.add(name)
-            last = counter_ts.get(name)
+            track = (ev.get("pid"), name)
+            last = counter_ts.get(track)
             if last is not None and ts <= last:
                 errors.append(
-                    f"event {i}: counter '{name}' ts {ts} <= {last}")
-            counter_ts[name] = ts
+                    f"event {i}: counter '{name}' ts {ts} <= {last}"
+                    f" on pid {ev.get('pid')}")
+            counter_ts[track] = ts
+            args_obj = ev.get("args")
+            if not isinstance(args_obj, dict) or not args_obj:
+                errors.append(
+                    f"event {i}: counter '{name}' without args object")
+            else:
+                for k, v in args_obj.items():
+                    if not isinstance(v, (int, float)) or isinstance(
+                            v, bool):
+                        errors.append(
+                            f"event {i}: counter '{name}' arg "
+                            f"'{k}' is not numeric: {v!r}")
 
     for key, stack in stacks.items():
         if stack:

@@ -5,6 +5,7 @@
 #include "cache/llc_bank.hh"
 #include "nvm/memory_controller.hh"
 #include "persist/persist_controller.hh"
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -39,6 +40,7 @@ L1Cache::L1Cache(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
 void
 L1Cache::stagePop()
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     StagedAccess s = _staged.pop();
     accessStage2(s.addr, s.isWrite, std::move(s.onComplete));
 }
@@ -88,6 +90,7 @@ L1Cache::accessStage2(Addr addr, bool isWrite,
 void
 L1Cache::prefetchExclusive(Addr addr)
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     addr = lineAlign(addr);
     scheduleIn(_cfg.accessLatency, [this, addr] {
         if (_mshrs.has(addr) || _mshrs.full())
@@ -160,6 +163,7 @@ void
 L1Cache::handleFillGrant(Addr addr, CoherenceState state, CoreId tagCore,
                          EpochId tagEpoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     CacheLine *line = _array.find(addr);
     if (!line) {
         CacheLine *victim = _array.victimFor(addr, false);
@@ -195,6 +199,7 @@ void
 L1Cache::replayNext(Addr addr, std::vector<PendingAccess> queue,
                     std::size_t idx)
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     if (idx >= queue.size()) {
         _mshrs.recycle(std::move(queue));
         serviceDeferred();
@@ -282,6 +287,7 @@ L1Cache::probeMshrEpisode()
 void
 L1Cache::serviceDeferred()
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     while (!_deferred.empty() && !_mshrs.full()) {
         auto fn = std::move(_deferred.front());
         _deferred.pop_front();
@@ -350,6 +356,7 @@ void
 L1Cache::handleDowngrade(Addr addr, bool forWrite, unsigned bankNode,
                          InlineCallback replyAtBank)
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     scheduleIn(_cfg.accessLatency,
                [this, addr, forWrite, bankNode,
                 replyAtBank = std::move(replyAtBank)]() mutable {
@@ -396,6 +403,7 @@ void
 L1Cache::handleInvalidate(Addr addr, unsigned bankNode,
                           InlineCallback ackAtBank)
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     scheduleIn(1, [this, addr, bankNode,
                    ackAtBank = std::move(ackAtBank)]() mutable {
         CacheLine *line = _array.find(addr);
@@ -413,6 +421,7 @@ Tick
 L1Cache::flushLines(const std::vector<Addr> &lines, bool invalidating,
                     Tick interval)
 {
+    prof::ScopedPhase profPhase(prof::Phase::L1Access);
     Tick offset = 0;
     for (Addr addr : lines) {
         scheduleIn(offset, [this, addr, invalidating] {

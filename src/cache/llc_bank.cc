@@ -7,6 +7,7 @@
 #include "cache/l1_cache.hh"
 #include "nvm/memory_controller.hh"
 #include "persist/persist_controller.hh"
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -69,6 +70,7 @@ LlcBank::LlcBank(const std::string &name, EventQueue &eq, noc::Mesh &mesh,
 void
 LlcBank::handleRequest(Addr addr, bool isWrite, CoreId core)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     ++_requests;
     addr = lineAlign(addr);
     // The tag probe happens in lookupStage, accessLatency ticks (and
@@ -115,6 +117,7 @@ LlcBank::addPinWaiter(Addr addr, InlineCallback cb)
 void
 LlcBank::lookupStage(Txn txn)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     CacheLine *line = _array.find(txn.addr);
     if (line && line->pinned()) {
         // An eviction owns the line right now; retry once it is done.
@@ -156,6 +159,7 @@ LlcBank::hitPath(Txn txn)
 void
 LlcBank::resolveConflictStage(Txn txn)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     simAssert(_array.find(txn.addr), name(),
               ": line vanished before conflict resolution");
     _pc.resolveBankAccess(_bankIdx, txn.core, txn.isWrite, txn.addr,
@@ -165,6 +169,7 @@ LlcBank::resolveConflictStage(Txn txn)
 void
 LlcBank::proceedStage(Txn txn)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     CacheLine *line = _array.find(txn.addr);
     simAssert(line, name(), ": line vanished before grant");
     if (!txn.isWrite) {
@@ -256,6 +261,7 @@ LlcBank::grantRead(Txn txn)
 void
 LlcBank::missPath(Txn txn)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     CacheLine *line = _array.find(txn.addr);
     if (line) {
         // Extremely defensive: inclusion means nobody else fills, but a
@@ -299,6 +305,7 @@ LlcBank::missPath(Txn txn)
 void
 LlcBank::fillAndGrant(Txn txn, CacheLine *way)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     simAssert(!way->valid(), name(), ": fill way got claimed");
     tracef("Evict", *this, "fill 0x", std::hex, txn.addr, std::dec,
            " for core ", txn.core);
@@ -313,6 +320,7 @@ LlcBank::fillAndGrant(Txn txn, CacheLine *way)
 void
 LlcBank::finish(Txn txn)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     unpin(txn.addr);
     // unpin may have run waiters that mutated the table; re-resolve.
     LineEntry *e = _lines.find(txn.addr);
@@ -342,6 +350,7 @@ LlcBank::unpin(Addr addr)
 void
 LlcBank::drainPinWaiters(Addr addr)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     LineEntry *e = _lines.find(addr);
     if (!e || e->waiters.empty())
         return;
@@ -382,6 +391,7 @@ LlcBank::testPinWaiters(Addr addr) const
 void
 LlcBank::evictVictim(Addr vaddr, InlineCallback cont)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     CacheLine *line = _array.find(vaddr);
     simAssert(line && line->pinned(), name(),
               ": eviction lost its victim");
@@ -468,6 +478,7 @@ void
 LlcBank::acceptWriteback(CoreId fromCore, Addr addr, bool dirty,
                          WritebackKind kind, CacheLine *line)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     (void)dirty; // the caller already merged dirty data and moved tags
     if (!line)
         line = _array.find(addr);
@@ -507,6 +518,7 @@ LlcBank::findFlushJob(CoreId core, EpochId epoch)
 void
 LlcBank::handleFlushEpoch(CoreId core, EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     ++_flushEpochMsgs;
     const std::vector<Addr> lines = _flushEngine.takeAll(core, epoch);
     FlushJob *job = findFlushJob(core, epoch);
@@ -550,6 +562,7 @@ LlcBank::handleFlushEpoch(CoreId core, EpochId epoch)
 void
 LlcBank::onFlushLineAck(CoreId core, EpochId epoch, Addr addr)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     CacheLine *line = _array.find(addr);
     if (line && line->epochCore() == core && line->epochId() == epoch) {
         line->clearTag();
@@ -628,6 +641,7 @@ LlcBank::debugDump(std::ostream &os)
 void
 LlcBank::handlePersistCmp(CoreId core, EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::LlcBank);
     (void)core;
     (void)epoch;
     ++_persistCmpSeen;

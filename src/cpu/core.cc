@@ -4,6 +4,7 @@
 
 #include "cache/l1_cache.hh"
 #include "persist/epoch_arbiter.hh"
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -48,7 +49,11 @@ Core::step()
 {
     if (_halted)
         return;
-    const MemOp op = _workload->next(curTick());
+    MemOp op;
+    {
+        prof::ScopedPhase profPhase(prof::Phase::WorkloadGen);
+        op = _workload->next(curTick());
+    }
     switch (op.kind) {
       case MemOp::Kind::Halt:
         _halted = true;

@@ -7,6 +7,9 @@
 #include <thread>
 
 #include "exp/stats_export.hh"
+#include "prof/hw_counters.hh"
+#include "prof/phase.hh"
+#include "prof/sampler.hh"
 #include "workload/trace/trace_capture.hh"
 
 namespace persim::exp
@@ -68,8 +71,11 @@ runJob(const ExperimentSpec &spec, unsigned maxAttempts,
                 sys.setWorkload(static_cast<CoreId>(t),
                                 std::move(workloads[t]));
             out.result = sys.run();
-            out.stats = sys.stats();
-            out.statTree = statGroupsToJson(sys.statGroups());
+            {
+                prof::ScopedPhase profPhase(prof::Phase::StatExport);
+                out.stats = sys.stats();
+                out.statTree = statGroupsToJson(sys.statGroups());
+            }
             // Captures are written only for completed runs, so a
             // retried attempt never leaves a partial trace behind.
             if (capture)
@@ -205,6 +211,17 @@ SweepRunner::run(const Sweep &sweep)
     _recorder = std::make_unique<trace::Recorder>(_opts.traceFlags,
                                                   _opts.counterWindow);
 
+    // Host-time profiling rides the whole sweep: one interval timer,
+    // per-thread phase counters, and a hardware counter group around
+    // each job. All of it observes the host only — the deterministic
+    // sweep output cannot see whether profiling was on.
+    _profile = prof::SweepProfile{};
+    const bool profOn = _opts.prof;
+    if (profOn)
+        prof::Sampler::start(_opts.profPeriodUsec);
+    std::vector<prof::PhaseCounts> jobProf(total);
+    std::vector<prof::CounterReading> jobCounters(total);
+
     // Host-side per-job state, shared with the live monitor thread.
     std::vector<std::atomic<unsigned char>> states(total);
     for (auto &s : states)
@@ -232,12 +249,35 @@ SweepRunner::run(const Sweep &sweep)
                                         doneEvents.load()) *
                                         1e3 / elapsed
                                   : 0.0;
+                // Live top-phase readout: which named phase owns the
+                // largest share of host samples so far.
+                char profLine[64] = "";
+                if (profOn) {
+                    const prof::PhaseCounts pc =
+                        prof::Sampler::totalCounts();
+                    const std::uint64_t totalSamples = pc.total();
+                    std::size_t top = 0;
+                    for (std::size_t p = 1; p < prof::kPhaseCount; ++p)
+                        if (pc.samples[p] > pc.samples[top])
+                            top = p;
+                    if (totalSamples > 0) {
+                        std::snprintf(
+                            profLine, sizeof(profLine),
+                            " | top %s %.0f%%",
+                            prof::phaseName(
+                                static_cast<prof::Phase>(top)),
+                            100.0 *
+                                static_cast<double>(
+                                    pc.samples[top]) /
+                                static_cast<double>(totalSamples));
+                    }
+                }
                 std::lock_guard<std::mutex> lock(progressMutex);
                 std::fprintf(
                     stderr,
                     "  -- %zu queued, %zu running, %zu retrying, "
                     "%zu done, %zu failed | %.1f s | %.2f Mev/s | "
-                    "RSS %.1f MB (peak %.1f MB)\n",
+                    "RSS %.1f MB (peak %.1f MB)%s\n",
                     counts[static_cast<unsigned>(JobState::Queued)],
                     counts[static_cast<unsigned>(JobState::Running)],
                     counts[static_cast<unsigned>(JobState::Retrying)],
@@ -245,7 +285,8 @@ SweepRunner::run(const Sweep &sweep)
                     counts[static_cast<unsigned>(JobState::Failed)],
                     elapsed / 1e3, evPerSec / 1e6,
                     static_cast<double>(currentRssKb()) / 1024.0,
-                    static_cast<double>(peakRssKb()) / 1024.0);
+                    static_cast<double>(peakRssKb()) / 1024.0,
+                    profLine);
             }
         });
     }
@@ -260,6 +301,19 @@ SweepRunner::run(const Sweep &sweep)
         const bool tracing = index == traceIndex;
         if (tracing)
             trace::attachRecorder(_recorder.get());
+
+        // Per-job profiling bracket: worker threads attach lazily (the
+        // block persists across this worker's jobs), and a fresh
+        // counter group scopes exactly this job's hardware activity.
+        prof::PhaseCounts profBefore;
+        std::unique_ptr<prof::HwCounterGroup> counters;
+        if (profOn) {
+            prof::Sampler::attachThread();
+            profBefore = prof::Sampler::threadCounts();
+            counters = std::make_unique<prof::HwCounterGroup>();
+            counters->start();
+        }
+
         JobOutcome outcome =
             runJob(spec, _opts.maxAttempts, {}, [&](unsigned attempt) {
                 if (attempt > 1) {
@@ -268,6 +322,12 @@ SweepRunner::run(const Sweep &sweep)
                                 std::memory_order_relaxed);
                 }
             });
+
+        if (profOn) {
+            jobCounters[index] = counters->stop();
+            jobProf[index] =
+                prof::Sampler::threadCounts().minus(profBefore);
+        }
         if (tracing)
             trace::detachRecorder();
 
@@ -305,11 +365,15 @@ SweepRunner::run(const Sweep &sweep)
     }
     _wallMs = msSince(start);
     _traceRecords = _recorder->records();
+    if (profOn)
+        prof::Sampler::stop();
 
     _telemetry.sweep = sweep.name;
     _telemetry.workers = _opts.jobs ? _opts.jobs : 1;
     _telemetry.wallMs = _wallMs;
     _telemetry.peakRssKb = peakRssKb();
+    _telemetry.hostCpus = hostCpuCount();
+    _telemetry.loadAvg1 = loadAverage1();
     _telemetry.jobs.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
         const JobOutcome &o = outcomes[i];
@@ -321,7 +385,35 @@ SweepRunner::run(const Sweep &sweep)
         jt.wallMs = o.wallMs;
         jt.events = o.result.events;
         jt.rssAfterKb = jobRssKb[i];
+        if (profOn) {
+            jt.profiled = true;
+            jt.profPhases = jobProf[i];
+            jt.counters = jobCounters[i];
+        }
         _telemetry.jobs.push_back(std::move(jt));
+    }
+
+    if (profOn) {
+        _telemetry.profiled = true;
+        _telemetry.profPeriodUsec = _opts.profPeriodUsec;
+        _telemetry.profPhases = prof::Sampler::totalCounts();
+
+        _profile.sweep = sweep.name;
+        _profile.periodUsec = _opts.profPeriodUsec;
+        _profile.hostCpus = _telemetry.hostCpus;
+        _profile.loadAvg1 = _telemetry.loadAvg1;
+        _profile.phases = _telemetry.profPhases;
+        _profile.unattributed = prof::Sampler::unattributedSamples();
+        _profile.jobs.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            prof::JobProfile jp;
+            jp.id = outcomes[i].spec.id();
+            jp.phases = jobProf[i];
+            jp.counters = jobCounters[i];
+            _profile.counters.add(jobCounters[i]);
+            _profile.jobs.push_back(std::move(jp));
+        }
+        _telemetry.counters = _profile.counters;
     }
     return outcomes;
 }
@@ -330,6 +422,7 @@ JsonValue
 sweepToJson(const Sweep &sweep, const std::vector<JobOutcome> &outcomes,
             bool includeStats)
 {
+    prof::ScopedPhase profPhase(prof::Phase::StatExport);
     JsonValue out = JsonValue::object();
     out["sweep"] = JsonValue(sweep.name);
     out["jobCount"] = JsonValue(outcomes.size());

@@ -35,6 +35,7 @@
 #include "exp/spec.hh"
 #include "exp/telemetry.hh"
 #include "model/system.hh"
+#include "prof/profile.hh"
 #include "sim/trace.hh"
 
 namespace persim::exp
@@ -165,6 +166,22 @@ struct RunnerOptions
 
     /** Milliseconds between live telemetry lines. */
     unsigned liveIntervalMs = 2000;
+
+    /**
+     * Host-time profiling: arm the SIGPROF phase sampler for the whole
+     * sweep and open a hardware counter group around every job. The
+     * breakdown lands in telemetry() and profile(); the deterministic
+     * sweep JSON is untouched. Do not combine with -pg builds (gprof
+     * owns ITIMER_PROF there).
+     */
+    bool prof = false;
+
+    /**
+     * Sampling period in microseconds of process CPU time. The
+     * default is prime so the sampler cannot phase-lock with any
+     * periodic simulator behavior.
+     */
+    unsigned profPeriodUsec = 997;
 };
 
 /** Runs a Sweep and owns the optional trace capture. */
@@ -192,6 +209,12 @@ class SweepRunner
     /** Host-side telemetry of the last run() (--telemetry-out). */
     const SweepTelemetry &telemetry() const { return _telemetry; }
 
+    /**
+     * Host-time profile of the last run() (--prof-out document);
+     * empty unless RunnerOptions::prof was set.
+     */
+    const prof::SweepProfile &profile() const { return _profile; }
+
     /** Total wall-clock of the last run() in milliseconds. */
     double wallMs() const { return _wallMs; }
 
@@ -200,6 +223,7 @@ class SweepRunner
     std::vector<trace::Record> _traceRecords;
     std::unique_ptr<trace::Recorder> _recorder;
     SweepTelemetry _telemetry;
+    prof::SweepProfile _profile;
     double _wallMs = 0.0;
 };
 

@@ -1,5 +1,7 @@
 #include "exp/stats_export.hh"
 
+#include "prof/phase.hh"
+
 namespace persim::exp
 {
 
@@ -22,6 +24,7 @@ distributionToJson(const Distribution &d)
 JsonValue
 statGroupsToJson(const std::vector<const StatGroup *> &groups)
 {
+    prof::ScopedPhase profPhase(prof::Phase::StatExport);
     JsonValue out = JsonValue::object();
     for (const StatGroup *g : groups) {
         JsonValue &entry = out[g->name()];

@@ -1,10 +1,13 @@
 #include "exp/telemetry.hh"
 
+#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include "prof/profile.hh"
 
 namespace persim::exp
 {
@@ -12,36 +15,95 @@ namespace persim::exp
 namespace
 {
 
-/** Parse "<key>:   <n> kB" from /proc/self/status; 0 if absent. */
-std::uint64_t
-procStatusKb(const char *key)
+/** Slurp a /proc file; empty string where /proc is unavailable. */
+std::string
+readProcFile(const char *path)
 {
-    std::ifstream in("/proc/self/status");
+    std::ifstream in(path);
     if (!in)
-        return 0;
-    std::string line;
-    const std::size_t keyLen = std::strlen(key);
-    while (std::getline(in, line)) {
-        if (line.compare(0, keyLen, key) != 0 ||
-            line.size() <= keyLen || line[keyLen] != ':')
-            continue;
-        return std::strtoull(line.c_str() + keyLen + 1, nullptr, 10);
-    }
-    return 0;
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
 }
 
 } // namespace
 
 std::uint64_t
+parseStatusKb(std::string_view text, std::string_view key)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        // "<key>:" exactly — "VmRSS" must not match "VmRSSExtra:".
+        if (line.size() <= key.size() ||
+            line.compare(0, key.size(), key) != 0 ||
+            line[key.size()] != ':')
+            continue;
+        std::size_t i = key.size() + 1;
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        if (i >= line.size() ||
+            !std::isdigit(static_cast<unsigned char>(line[i])))
+            return 0; // malformed value: refuse rather than guess
+        std::uint64_t value = 0;
+        for (; i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i]));
+             ++i)
+            value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        return value;
+    }
+    return 0;
+}
+
+std::uint64_t
 currentRssKb()
 {
-    return procStatusKb("VmRSS");
+    return parseStatusKb(readProcFile("/proc/self/status"), "VmRSS");
 }
 
 std::uint64_t
 peakRssKb()
 {
-    return procStatusKb("VmHWM");
+    return parseStatusKb(readProcFile("/proc/self/status"), "VmHWM");
+}
+
+unsigned
+hostCpuCount()
+{
+    return std::thread::hardware_concurrency();
+}
+
+double
+loadAverage1()
+{
+    // First field of /proc/loadavg; strtod-style parse keeps this
+    // locale-independent (the kernel always writes "0.42").
+    const std::string text = readProcFile("/proc/loadavg");
+    if (text.empty())
+        return -1.0;
+    double whole = 0.0;
+    std::size_t i = 0;
+    bool any = false;
+    for (; i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]));
+         ++i, any = true)
+        whole = whole * 10.0 + (text[i] - '0');
+    if (!any)
+        return -1.0;
+    if (i < text.size() && text[i] == '.') {
+        double scale = 0.1;
+        for (++i; i < text.size() &&
+                  std::isdigit(static_cast<unsigned char>(text[i]));
+             ++i, scale *= 0.1)
+            whole += (text[i] - '0') * scale;
+    }
+    return whole;
 }
 
 const char *
@@ -73,6 +135,13 @@ JobTelemetry::toJson() const
     out["wallMs"] = JsonValue(wallMs);
     out["events"] = JsonValue(events);
     out["rssAfterKb"] = JsonValue(rssAfterKb);
+    if (profiled) {
+        JsonValue p = JsonValue::object();
+        p["samples"] = JsonValue(profPhases.total());
+        p["phases"] = prof::phaseCountsToJson(profPhases);
+        out["prof"] = std::move(p);
+        out["counters"] = counters.toJson();
+    }
     return out;
 }
 
@@ -117,12 +186,24 @@ SweepTelemetry::toJson() const
     JsonValue out = JsonValue::object();
     out["sweep"] = JsonValue(sweep);
     out["workers"] = JsonValue(workers);
+    out["hostCpus"] = JsonValue(hostCpus);
+    if (loadAvg1 >= 0.0)
+        out["loadAvg1"] = JsonValue(loadAvg1);
     out["wallMs"] = JsonValue(wallMs);
     out["peakRssKb"] = JsonValue(peakRssKb);
     out["totalEvents"] = JsonValue(totalEvents());
     out["eventsPerSec"] = JsonValue(eventsPerSec());
     out["failed"] = JsonValue(failedJobs());
     out["retried"] = JsonValue(retriedJobs());
+    if (profiled) {
+        JsonValue p = JsonValue::object();
+        p["periodUsec"] = JsonValue(profPeriodUsec);
+        p["samples"] = JsonValue(profPhases.total());
+        p["phases"] = prof::phaseCountsToJson(profPhases);
+        out["prof"] = std::move(p);
+        out["counterSource"] = JsonValue(counters.source);
+        out["counters"] = counters.toJson();
+    }
     JsonValue arr = JsonValue::array();
     for (const JobTelemetry &j : jobs)
         arr.push(j.toJson());

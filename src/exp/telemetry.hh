@@ -9,6 +9,13 @@
  * simulated machine, so it cannot perturb determinism. It is also
  * explicitly NON-deterministic (wall clock, RSS, worker ids) and so
  * lives in its own document, never in the sweep JSON.
+ *
+ * When a sweep runs with profiling (RunnerOptions::prof), each job
+ * additionally carries its phase-sample breakdown and hardware
+ * counter reading (prof/sampler.hh, prof/hw_counters.hh), and the
+ * document header carries the aggregate — so a single telemetry file
+ * answers both "where did the wall clock go" and "what did the host
+ * look like while it went".
  */
 
 #ifndef PERSIM_EXP_TELEMETRY_HH
@@ -16,12 +23,23 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/json.hh"
+#include "prof/hw_counters.hh"
+#include "prof/sampler.hh"
 
 namespace persim::exp
 {
+
+/**
+ * Parse "<key>:   <n> kB" out of a /proc/self/status-shaped text.
+ * Returns 0 when the key is absent, matches only as a prefix of a
+ * longer key, or has a malformed (non-numeric) value. Exposed so the
+ * parser is testable against canned snippets.
+ */
+std::uint64_t parseStatusKb(std::string_view text, std::string_view key);
 
 /**
  * Current resident-set size of this process in kB (VmRSS from
@@ -34,6 +52,12 @@ std::uint64_t currentRssKb();
  * /proc/self/status); 0 where /proc is unavailable.
  */
 std::uint64_t peakRssKb();
+
+/** Online CPU count of this host (0 when unknown). */
+unsigned hostCpuCount();
+
+/** 1-minute load average from /proc/loadavg; < 0 when unavailable. */
+double loadAverage1();
 
 /** Lifecycle of one sweep job, as shown by --progress. */
 enum class JobState : unsigned char
@@ -61,6 +85,11 @@ struct JobTelemetry
     /** Process RSS right after the job finished, kB. */
     std::uint64_t rssAfterKb = 0;
 
+    /** Host-time profile of this job (profiled sweeps only). */
+    bool profiled = false;
+    prof::PhaseCounts profPhases;
+    prof::CounterReading counters;
+
     JsonValue toJson() const;
 };
 
@@ -71,6 +100,17 @@ struct SweepTelemetry
     unsigned workers = 0;
     double wallMs = 0.0;
     std::uint64_t peakRssKb = 0;
+    /** Host shape, mirroring scripts/bench_lib.py's BENCH envelope. */
+    unsigned hostCpus = 0;
+    /** 1-minute load average at the end of the run; < 0 = unknown. */
+    double loadAvg1 = -1.0;
+
+    /** Aggregate host-time profile (profiled sweeps only). */
+    bool profiled = false;
+    unsigned profPeriodUsec = 0;
+    prof::PhaseCounts profPhases;
+    prof::CounterReading counters;
+
     std::vector<JobTelemetry> jobs;
 
     std::uint64_t totalEvents() const;

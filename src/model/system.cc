@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -124,6 +125,11 @@ System::run()
             std::make_unique<IntervalSampler>(*this,
                                               rec->counterWindow());
     }
+
+    // Base host-time phase for the whole dispatch loop: any sample
+    // that lands outside a deeper component scope is event-queue
+    // machinery, not "other".
+    prof::ScopedPhase profPhase(prof::Phase::EventLoop);
 
     SimResult res;
     unsigned running = _cfg.numCores;

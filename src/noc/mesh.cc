@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 
 namespace persim::noc
@@ -111,6 +112,7 @@ Tick
 Mesh::send(unsigned src, unsigned dst, unsigned bytes,
            EventQueue::Callback onDeliver)
 {
+    prof::ScopedPhase profPhase(prof::Phase::Noc);
     simAssert(src < _nodes.size() && _nodes[src].attached,
               "send from unattached node ", src);
     simAssert(dst < _nodes.size() && _nodes[dst].attached,

@@ -1,5 +1,6 @@
 #include "nvm/memory_controller.hh"
 
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -24,6 +25,7 @@ MemoryController::MemoryController(const std::string &name, EventQueue &eq,
 void
 MemoryController::handleWrite(WriteReq req)
 {
+    prof::ScopedPhase profPhase(prof::Phase::Nvm);
     const Tick now = curTick();
     const Tick durable = _nvram.write(now, req.addr);
     _writeLatency.sample(durable - now);
@@ -55,6 +57,7 @@ MemoryController::handleWrite(WriteReq req)
 void
 MemoryController::handleRead(ReadReq req)
 {
+    prof::ScopedPhase profPhase(prof::Phase::Nvm);
     const Tick now = curTick();
     const Tick ready = _nvram.read(now, req.addr);
     simAssert(static_cast<bool>(req.onData), "read without onData");

@@ -5,6 +5,7 @@
 #include "cache/l1_cache.hh"
 #include "cache/llc_bank.hh"
 #include "persist/persist_controller.hh"
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -72,6 +73,7 @@ EpochArbiter::mustFind(EpochId epoch)
 void
 EpochArbiter::barrier(InlineCallback cont)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     if (!_table.canOpen()) {
         ++statBarrierStalls;
         // Enqueue the retry BEFORE demanding headroom: a trivial head
@@ -100,6 +102,7 @@ EpochArbiter::barrier(InlineCallback cont)
 void
 EpochArbiter::drain(InlineCallback cont)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     Epoch &cur = _table.current();
     if (cur.storeCount > 0) {
         // Close the tail epoch so its stores can flush.
@@ -280,6 +283,7 @@ EpochArbiter::maybeComplete(Epoch &e)
 void
 EpochArbiter::tryAdvance()
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     _table.retirePersisted();
     Epoch *head = _table.oldest();
     if (!head || head->persisted() || head->state == EpochState::Flushing)
@@ -327,6 +331,7 @@ EpochArbiter::pullSource(Epoch &e, const IdtEntry &src)
 void
 EpochArbiter::startFlush(Epoch &e)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     simAssert(e.state == EpochState::Completed, name(),
               ": flush of a non-completed epoch");
     simAssert(e.flushesInFlight == 0, name(),
@@ -442,6 +447,7 @@ EpochArbiter::beginBankPhase(Epoch &e)
 void
 EpochArbiter::onBankAck(EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     Epoch *e = mustFind(epoch);
     simAssert(e->state == EpochState::Flushing && e->bankAcksPending > 0,
               name(), ": unexpected BankAck");
@@ -452,12 +458,14 @@ EpochArbiter::onBankAck(EpochId epoch)
 void
 EpochArbiter::onFlushIssued(EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     ++mustFind(epoch)->flushesInFlight;
 }
 
 void
 EpochArbiter::onLinePersisted(EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     Epoch *e = mustFind(epoch);
     simAssert(e->flushesInFlight > 0 && e->linesLive > 0, name(),
               ": flush-ack accounting underflow");
@@ -468,6 +476,7 @@ EpochArbiter::onLinePersisted(EpochId epoch)
 void
 EpochArbiter::onLogWritePersisted(EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     Epoch *e = mustFind(epoch);
     simAssert(e->logWritesPending > 0, name(), ": log-ack underflow");
     --e->logWritesPending;
@@ -477,6 +486,7 @@ EpochArbiter::onLogWritePersisted(EpochId epoch)
 void
 EpochArbiter::onCheckpointPersisted(EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     Epoch *e = mustFind(epoch);
     simAssert(e->checkpointPending > 0, name(),
               ": checkpoint-ack underflow");
@@ -498,6 +508,7 @@ EpochArbiter::maybeFinishFlush(Epoch &e)
 void
 EpochArbiter::declarePersisted(Epoch &e)
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     simAssert(e.linesLive == 0 && e.flushesInFlight == 0, name(),
               ": epoch declared persisted with live lines");
     e.state = EpochState::Persisted;
@@ -606,6 +617,7 @@ EpochArbiter::debugDump(std::ostream &os)
 void
 EpochArbiter::serviceRetireWaiters()
 {
+    prof::ScopedPhase profPhase(prof::Phase::PersistArbiter);
     while (!_retireWaiters.empty() && _table.canOpen()) {
         auto w = std::move(_retireWaiters.front());
         _retireWaiters.erase(_retireWaiters.begin());

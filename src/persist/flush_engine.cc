@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/phase.hh"
 #include "sim/logging.hh"
 
 namespace persim::persist
@@ -33,6 +34,7 @@ FlushEngine::recycleBucket(std::size_t idx)
 void
 FlushEngine::addLine(CoreId core, EpochId epoch, Addr addr)
 {
+    prof::ScopedPhase profPhase(prof::Phase::FlushEngine);
     simAssert(core != kNoCore && epoch != kNoEpoch, _name,
               ": untagged line added to flush engine");
     std::size_t idx = indexOf(core, epoch);
@@ -57,6 +59,7 @@ FlushEngine::addLine(CoreId core, EpochId epoch, Addr addr)
 bool
 FlushEngine::removeLine(CoreId core, EpochId epoch, Addr addr)
 {
+    prof::ScopedPhase profPhase(prof::Phase::FlushEngine);
     const std::size_t idx = indexOf(core, epoch);
     if (idx == kNone)
         return false;
@@ -86,6 +89,7 @@ FlushEngine::count(CoreId core, EpochId epoch) const
 std::vector<Addr>
 FlushEngine::takeAll(CoreId core, EpochId epoch)
 {
+    prof::ScopedPhase profPhase(prof::Phase::FlushEngine);
     std::vector<Addr> out;
     const std::size_t idx = indexOf(core, epoch);
     if (idx == kNone)
@@ -102,6 +106,7 @@ FlushEngine::takeAll(CoreId core, EpochId epoch)
 std::vector<Addr>
 FlushEngine::snapshot(CoreId core, EpochId epoch) const
 {
+    prof::ScopedPhase profPhase(prof::Phase::FlushEngine);
     std::vector<Addr> out;
     const std::size_t idx = indexOf(core, epoch);
     if (idx == kNone)

@@ -1,0 +1,283 @@
+#include "prof/hw_counters.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace persim::prof
+{
+
+namespace
+{
+
+double
+nowSec()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+const char *
+errnoName(int e)
+{
+    switch (e) {
+      case EPERM:
+        return "EPERM";
+      case EACCES:
+        return "EACCES";
+      case ENOENT:
+        return "ENOENT";
+      case ENOSYS:
+        return "ENOSYS";
+      case ENODEV:
+        return "ENODEV";
+      case EOPNOTSUPP:
+        return "EOPNOTSUPP";
+      default:
+        return "errno";
+    }
+}
+
+#ifdef __linux__
+
+int
+perfOpen(std::uint32_t type, std::uint64_t config, int groupFd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = groupFd == -1 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.inherit = 0;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr, 0, -1,
+                                    groupFd, 0));
+}
+
+bool
+readRusage(double &u, double &s, std::uint64_t &minflt,
+           std::uint64_t &majflt, std::uint64_t &nvcsw,
+           std::uint64_t &nivcsw)
+{
+    rusage ru;
+    if (getrusage(RUSAGE_THREAD, &ru) != 0)
+        return false;
+    u = static_cast<double>(ru.ru_utime.tv_sec) +
+        static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    s = static_cast<double>(ru.ru_stime.tv_sec) +
+        static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    minflt = static_cast<std::uint64_t>(ru.ru_minflt);
+    majflt = static_cast<std::uint64_t>(ru.ru_majflt);
+    nvcsw = static_cast<std::uint64_t>(ru.ru_nvcsw);
+    nivcsw = static_cast<std::uint64_t>(ru.ru_nivcsw);
+    return true;
+}
+
+#endif // __linux__
+
+} // namespace
+
+double
+CounterReading::ipc() const
+{
+    return perfValid && cycles > 0
+               ? static_cast<double>(instructions) /
+                     static_cast<double>(cycles)
+               : 0.0;
+}
+
+void
+CounterReading::add(const CounterReading &b)
+{
+    if (source.empty())
+        source = b.source;
+    perfValid = perfValid || b.perfValid;
+    cycles += b.cycles;
+    instructions += b.instructions;
+    llcMisses += b.llcMisses;
+    branchMisses += b.branchMisses;
+    rusageValid = rusageValid || b.rusageValid;
+    userSec += b.userSec;
+    sysSec += b.sysSec;
+    minorFaults += b.minorFaults;
+    majorFaults += b.majorFaults;
+    volCtxSwitches += b.volCtxSwitches;
+    involCtxSwitches += b.involCtxSwitches;
+    wallSec += b.wallSec;
+}
+
+exp::JsonValue
+CounterReading::toJson() const
+{
+    exp::JsonValue out = exp::JsonValue::object();
+    out["source"] = exp::JsonValue(source);
+    if (perfValid) {
+        out["cycles"] = exp::JsonValue(cycles);
+        out["instructions"] = exp::JsonValue(instructions);
+        out["llcMisses"] = exp::JsonValue(llcMisses);
+        out["branchMisses"] = exp::JsonValue(branchMisses);
+        out["ipc"] = exp::JsonValue(ipc());
+    }
+    if (rusageValid) {
+        out["userSec"] = exp::JsonValue(userSec);
+        out["sysSec"] = exp::JsonValue(sysSec);
+        out["minorFaults"] = exp::JsonValue(minorFaults);
+        out["majorFaults"] = exp::JsonValue(majorFaults);
+        out["volCtxSwitches"] = exp::JsonValue(volCtxSwitches);
+        out["involCtxSwitches"] = exp::JsonValue(involCtxSwitches);
+    }
+    out["wallSec"] = exp::JsonValue(wallSec);
+    return out;
+}
+
+CounterReading
+CounterReading::fromJson(const exp::JsonValue &v)
+{
+    CounterReading out;
+    auto num = [&](const char *key, auto &field) {
+        if (const exp::JsonValue *j = v.get(key))
+            field = static_cast<std::remove_reference_t<decltype(field)>>(
+                j->asNumber());
+    };
+    if (const exp::JsonValue *s = v.get("source"))
+        out.source = s->asString();
+    out.perfValid = v.get("cycles") != nullptr;
+    num("cycles", out.cycles);
+    num("instructions", out.instructions);
+    num("llcMisses", out.llcMisses);
+    num("branchMisses", out.branchMisses);
+    out.rusageValid = v.get("userSec") != nullptr;
+    num("userSec", out.userSec);
+    num("sysSec", out.sysSec);
+    num("minorFaults", out.minorFaults);
+    num("majorFaults", out.majorFaults);
+    num("volCtxSwitches", out.volCtxSwitches);
+    num("involCtxSwitches", out.involCtxSwitches);
+    num("wallSec", out.wallSec);
+    return out;
+}
+
+HwCounterGroup::HwCounterGroup()
+{
+#ifdef __linux__
+    const char *noPerf = std::getenv("PERSIM_PROF_NO_PERF");
+    std::string perfReason;
+    if (noPerf && noPerf[0] && noPerf[0] != '0') {
+        perfReason = "perf_event disabled by PERSIM_PROF_NO_PERF";
+    } else {
+        _fds[0] = perfOpen(PERF_TYPE_HARDWARE,
+                           PERF_COUNT_HW_CPU_CYCLES, -1);
+        if (_fds[0] < 0) {
+            perfReason = std::string("perf_event unavailable: ") +
+                         errnoName(errno);
+        } else {
+            // Siblings are best-effort: a PMU with fewer programmable
+            // counters still yields cycles+instructions.
+            _fds[1] = perfOpen(PERF_TYPE_HARDWARE,
+                               PERF_COUNT_HW_INSTRUCTIONS, _fds[0]);
+            _fds[2] = perfOpen(PERF_TYPE_HARDWARE,
+                               PERF_COUNT_HW_CACHE_MISSES, _fds[0]);
+            _fds[3] = perfOpen(PERF_TYPE_HARDWARE,
+                               PERF_COUNT_HW_BRANCH_MISSES, _fds[0]);
+            _usePerf = true;
+            _source = "perf_event";
+            return;
+        }
+    }
+    double u, s;
+    std::uint64_t a, b, c, d;
+    if (readRusage(u, s, a, b, c, d)) {
+        _useRusage = true;
+        _source = "getrusage (" + perfReason + ")";
+        return;
+    }
+    _source = "clock (" + perfReason + "; getrusage failed)";
+#else
+    _source = "clock (perf_event unavailable: not linux)";
+#endif
+}
+
+HwCounterGroup::~HwCounterGroup()
+{
+#ifdef __linux__
+    for (int fd : _fds)
+        if (fd >= 0)
+            close(fd);
+#endif
+}
+
+void
+HwCounterGroup::start()
+{
+    _wall0 = nowSec();
+#ifdef __linux__
+    if (_usePerf) {
+        ioctl(_fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(_fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        return;
+    }
+    if (_useRusage)
+        readRusage(_u0, _s0, _minflt0, _majflt0, _nvcsw0, _nivcsw0);
+#endif
+}
+
+CounterReading
+HwCounterGroup::stop()
+{
+    CounterReading out;
+    out.source = _source;
+    out.wallSec = nowSec() - _wall0;
+#ifdef __linux__
+    if (_usePerf) {
+        ioctl(_fds[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+        // PERF_FORMAT_GROUP layout: u64 nr, then one u64 per member
+        // in creation order (failed siblings are simply absent).
+        std::uint64_t buf[1 + kEvents] = {};
+        const ssize_t n = read(_fds[0], buf, sizeof(buf));
+        if (n >= static_cast<ssize_t>(2 * sizeof(std::uint64_t))) {
+            out.perfValid = true;
+            std::uint64_t *vals = buf + 1;
+            std::size_t slot = 0;
+            std::uint64_t got[kEvents] = {};
+            for (int i = 0; i < kEvents; ++i)
+                if (_fds[i] >= 0)
+                    got[i] = slot < buf[0] ? vals[slot++] : 0;
+            out.cycles = got[0];
+            out.instructions = got[1];
+            out.llcMisses = got[2];
+            out.branchMisses = got[3];
+        }
+        return out;
+    }
+    if (_useRusage) {
+        double u, s;
+        std::uint64_t minflt, majflt, nvcsw, nivcsw;
+        if (readRusage(u, s, minflt, majflt, nvcsw, nivcsw)) {
+            out.rusageValid = true;
+            out.userSec = u - _u0;
+            out.sysSec = s - _s0;
+            out.minorFaults = minflt - _minflt0;
+            out.majorFaults = majflt - _majflt0;
+            out.volCtxSwitches = nvcsw - _nvcsw0;
+            out.involCtxSwitches = nivcsw - _nivcsw0;
+        }
+    }
+#endif
+    return out;
+}
+
+} // namespace persim::prof

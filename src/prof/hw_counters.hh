@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-job hardware counter telemetry with a graceful fallback ladder.
+ *
+ * The preferred source is a perf_event_open(2) counter group on the
+ * calling thread — cycles, instructions, LLC misses, branch misses,
+ * scheduled and torn down together so the ratios are consistent. The
+ * syscall is routinely unavailable (kernel.perf_event_paranoid in CI
+ * containers → EPERM/EACCES, no PMU in VMs → ENOENT, seccomp →
+ * ENOSYS), so unavailability is never an error: the group degrades to
+ * getrusage(RUSAGE_THREAD) (user/system CPU time, faults, context
+ * switches) and, where even that fails, to a plain monotonic clock.
+ * The reading always names its source so downstream artifacts stay
+ * self-describing ("counters unavailable" is a named field, not a
+ * failure — see ISSUE/DESIGN.md §3d).
+ *
+ * Set PERSIM_PROF_NO_PERF=1 to skip perf_event_open and exercise the
+ * fallback ladder deliberately (CI does).
+ */
+
+#ifndef PERSIM_PROF_HW_COUNTERS_HH
+#define PERSIM_PROF_HW_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "exp/json.hh"
+
+namespace persim::prof
+{
+
+/** One start()/stop() interval's counter deltas, source-tagged. */
+struct CounterReading
+{
+    /**
+     * "perf_event", "getrusage", or "clock"; a parenthesized reason
+     * follows when a richer source was probed and refused, e.g.
+     * "getrusage (perf_event unavailable: EPERM)".
+     */
+    std::string source;
+
+    /** perf_event group values (valid only when perfValid). */
+    bool perfValid = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t branchMisses = 0;
+
+    /** getrusage(RUSAGE_THREAD) deltas (valid when rusageValid). */
+    bool rusageValid = false;
+    double userSec = 0.0;
+    double sysSec = 0.0;
+    std::uint64_t minorFaults = 0;
+    std::uint64_t majorFaults = 0;
+    std::uint64_t volCtxSwitches = 0;
+    std::uint64_t involCtxSwitches = 0;
+
+    /** Wall clock of the interval (always valid). */
+    double wallSec = 0.0;
+
+    /** instructions/cycles; 0 when cycles is 0 or perf is invalid. */
+    double ipc() const;
+
+    /** Element-wise sum keeping the first non-empty source. */
+    void add(const CounterReading &b);
+
+    exp::JsonValue toJson() const;
+    static CounterReading fromJson(const exp::JsonValue &v);
+};
+
+/**
+ * RAII counter group bound to the constructing thread. Construct and
+ * start() on the thread that runs the job; stop() returns the deltas.
+ * Never throws: every failure just walks down the fallback ladder.
+ */
+class HwCounterGroup
+{
+  public:
+    HwCounterGroup();
+    ~HwCounterGroup();
+
+    HwCounterGroup(const HwCounterGroup &) = delete;
+    HwCounterGroup &operator=(const HwCounterGroup &) = delete;
+
+    /** Reset and enable the group / record the fallback baseline. */
+    void start();
+
+    /** Disable the group and return the interval's deltas. */
+    CounterReading stop();
+
+    /** The source stop() will report (decided at construction). */
+    const std::string &source() const { return _source; }
+
+  private:
+    static constexpr int kEvents = 4;
+
+    int _fds[kEvents] = {-1, -1, -1, -1};
+    std::string _source;
+    bool _usePerf = false;
+    bool _useRusage = false;
+
+    // Fallback baselines captured by start().
+    double _u0 = 0.0, _s0 = 0.0;
+    std::uint64_t _minflt0 = 0, _majflt0 = 0, _nvcsw0 = 0, _nivcsw0 = 0;
+    double _wall0 = 0.0;
+};
+
+} // namespace persim::prof
+
+#endif // PERSIM_PROF_HW_COUNTERS_HH

@@ -29,6 +29,7 @@
 #include "exp/runner.hh"
 #include "exp/spec.hh"
 #include "exp/trace_export.hh"
+#include "prof/profile.hh"
 #include "sim/logging.hh"
 #include "workload/trace/trace_reader.hh"
 
@@ -89,6 +90,19 @@ usage(const char *argv0)
         "tools/README.md)\n"
         "  --progress        live one-line telemetry to stderr while "
         "running\n"
+        "  --prof            host-time profiling: phase-tag SIGPROF "
+        "sampler\n"
+        "                    + per-job hardware counters (perf_event "
+        "with\n"
+        "                    getrusage/clock fallback); breakdown goes "
+        "to the\n"
+        "                    telemetry document and --prof-out\n"
+        "  --prof-out FILE   write the profile JSON (implies --prof); "
+        "render\n"
+        "                    and diff it with tools/persim_prof\n"
+        "  --prof-hz N       sampling rate, samples per CPU-second "
+        "(default\n"
+        "                    ~1000; the exact period is kept prime)\n"
         "  --telemetry-out F write host telemetry JSON (per-job state, "
         "RSS,\n"
         "                    events/sec; separate from deterministic "
@@ -124,6 +138,9 @@ main(int argc, char **argv)
     std::string replayDir;
     std::string telemetryFile;
     std::string intervalCsvFile;
+    std::string profFile;
+    bool profEnabled = false;
+    unsigned profHz = 0;
     unsigned shardIndex = 1;
     unsigned shardCount = 1;
     Tick intervalTicks = 0;
@@ -196,6 +213,14 @@ main(int argc, char **argv)
             }
         } else if (arg == "--progress")
             liveProgress = true;
+        else if (arg == "--prof")
+            profEnabled = true;
+        else if (arg == "--prof-out") {
+            profFile = value("--prof-out");
+            profEnabled = true;
+        } else if (arg == "--prof-hz")
+            profHz = static_cast<unsigned>(
+                std::strtoul(value("--prof-hz").c_str(), nullptr, 10));
         else if (arg == "--telemetry-out")
             telemetryFile = value("--telemetry-out");
         else if (arg == "--interval") {
@@ -350,6 +375,17 @@ main(int argc, char **argv)
         opts.maxAttempts = 1 + retries;
         opts.progress = !quiet;
         opts.liveProgress = liveProgress;
+        opts.prof = profEnabled;
+        if (profHz > 0) {
+            // Nudge to the nearest smaller odd period so the sampler
+            // cannot phase-lock with periodic simulator behavior.
+            unsigned period = 1000000 / profHz;
+            if (period == 0)
+                period = 1;
+            if (period > 2 && period % 2 == 0)
+                --period;
+            opts.profPeriodUsec = period;
+        }
         if (!traceFile.empty()) {
             opts.traceFlags = traceFlags;
             opts.traceJobId = traceJob;
@@ -428,6 +464,22 @@ main(int argc, char **argv)
             exp::writeCounterCsv(os, counters);
             std::fprintf(stderr, "wrote %s (%zu samples)\n",
                          intervalCsvFile.c_str(), counters.size());
+        }
+        if (!profFile.empty()) {
+            std::ofstream os(profFile);
+            if (!os)
+                fatal("cannot write ", profFile);
+            runner.profile().toJson().write(os, 2);
+            os << '\n';
+            const prof::SweepProfile &p = runner.profile();
+            std::fprintf(stderr,
+                         "wrote %s (%llu samples, %.1f%% attributed, "
+                         "counters: %s)\n",
+                         profFile.c_str(),
+                         static_cast<unsigned long long>(
+                             p.phases.total()),
+                         100.0 * p.attributionRatio(),
+                         p.counters.source.c_str());
         }
         if (!telemetryFile.empty()) {
             std::ofstream os(telemetryFile);
