@@ -63,3 +63,9 @@ if before is not None:
     doc["speedup"] = round(before / after, 3)
 bench_lib.emit(out, doc, reps=reps)
 EOF
+
+# Host-time profile regression gate: re-profile the same cell and
+# persim_prof-diff it against the baseline's profile (no-op without
+# BASELINE_BUILD; PROF_GATE=0 skips, PROF_GATE_PP tunes the threshold).
+"$(dirname "$0")/prof_gate.sh" "$build" "${out%.json}" -- \
+    --figure 14 --only /LB/ --jobs 1

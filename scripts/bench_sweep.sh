@@ -57,3 +57,9 @@ bench_lib.emit(out, doc, reps=1)
 EOF
 
 $deterministic || { echo "error: sweep output not deterministic!" >&2; exit 1; }
+
+# Host-time profile regression gate: re-profile the same grid and
+# persim_prof-diff it against the baseline's profile (no-op without
+# BASELINE_BUILD; PROF_GATE=0 skips, PROF_GATE_PP tunes the threshold).
+"$(dirname "$0")/prof_gate.sh" "$build" "${out%.json}" -- \
+    --figure 11 --jobs 1

@@ -102,3 +102,9 @@ with open(out, "w") as f:
     f.write("\n")
 print(json.dumps(doc, indent=2))
 EOF
+
+# Host-time profile regression gate: re-profile the same grid and
+# persim_prof-diff it against the baseline's profile (no-op without
+# BASELINE_BUILD; PROF_GATE=0 skips, PROF_GATE_PP tunes the threshold).
+"$(dirname "$0")/prof_gate.sh" "$build" "${out%.json}" -- \
+    --figure 11 --jobs 1

@@ -1,0 +1,111 @@
+#include "exp/fault.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace persim::exp::fault
+{
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::None:
+        return "none";
+      case Kind::Throw:
+        return "throw";
+      case Kind::Hang:
+        return "hang";
+      case Kind::Segv:
+        return "segv";
+      case Kind::Abort:
+        return "abort";
+    }
+    return "unknown";
+}
+
+Spec
+parse(std::string_view text)
+{
+    const std::size_t colon = text.find(':');
+    if (colon == std::string_view::npos)
+        fatal("PERSIM_FAULT wants <kind>:<jobIndex>, got '",
+              std::string(text), "'");
+    const std::string_view kind = text.substr(0, colon);
+    const std::string_view index = text.substr(colon + 1);
+
+    Spec spec;
+    if (kind == "throw")
+        spec.kind = Kind::Throw;
+    else if (kind == "hang")
+        spec.kind = Kind::Hang;
+    else if (kind == "segv")
+        spec.kind = Kind::Segv;
+    else if (kind == "abort")
+        spec.kind = Kind::Abort;
+    else
+        fatal("PERSIM_FAULT kind must be throw|hang|segv|abort, got '",
+              std::string(kind), "'");
+
+    if (index.empty())
+        fatal("PERSIM_FAULT wants a job index after ':', got '",
+              std::string(text), "'");
+    std::size_t value = 0;
+    for (char c : index) {
+        if (c < '0' || c > '9')
+            fatal("PERSIM_FAULT job index must be a non-negative "
+                  "integer, got '",
+                  std::string(index), "'");
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    spec.jobIndex = value;
+    return spec;
+}
+
+Spec
+fromEnv()
+{
+    // Re-read every call (it is on the once-per-attempt path, far off
+    // any hot loop) so tests can set and clear the variable freely.
+    const char *env = std::getenv("PERSIM_FAULT");
+    if (!env || !*env)
+        return {};
+    return parse(env);
+}
+
+void
+maybeInject(std::size_t jobIndex, const std::atomic<bool> *cancel)
+{
+    const Spec spec = fromEnv();
+    if (spec.kind == Kind::None || spec.jobIndex != jobIndex)
+        return;
+
+    switch (spec.kind) {
+      case Kind::Throw:
+        throw std::runtime_error("injected fault: throw");
+      case Kind::Hang:
+        // A cancellable hang: the loop does nothing but watch the
+        // watchdog flag, which is exactly the contract the in-process
+        // watchdog can break. Without a flag this never returns and
+        // only an external kill (the sandbox path) ends the job.
+        while (!(cancel &&
+                 cancel->load(std::memory_order_relaxed)))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw SimCancelled("injected fault: hang cancelled by watchdog");
+      case Kind::Segv:
+        std::raise(SIGSEGV);
+        break;
+      case Kind::Abort:
+        std::abort();
+      case Kind::None:
+        break;
+    }
+}
+
+} // namespace persim::exp::fault

@@ -1,15 +1,22 @@
 #include "exp/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <thread>
 
+#include <signal.h>
+
+#include "exp/fault.hh"
+#include "exp/journal.hh"
+#include "exp/sandbox.hh"
 #include "exp/stats_export.hh"
 #include "prof/hw_counters.hh"
 #include "prof/phase.hh"
 #include "prof/sampler.hh"
+#include "sim/logging.hh"
 #include "workload/trace/trace_capture.hh"
 
 namespace persim::exp
@@ -24,6 +31,22 @@ msSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Backoff before the @p retryIdx'th retry (1-based):
+ * min(base << (retryIdx - 1), cap) ms, 0 when backoff is disabled.
+ */
+unsigned
+backoffDelayMs(unsigned base, unsigned cap, unsigned retryIdx)
+{
+    if (base == 0 || retryIdx == 0)
+        return 0;
+    const unsigned shift = std::min(retryIdx - 1, 20u);
+    const std::uint64_t delay = static_cast<std::uint64_t>(base)
+                                << shift;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(delay, cap ? cap : delay));
 }
 
 } // namespace
@@ -45,25 +68,40 @@ JobOutcome::toJson(bool includeStats) const
 }
 
 JobOutcome
-runJob(const ExperimentSpec &spec, unsigned maxAttempts,
-       const std::function<void(model::SystemConfig &)> &tweak,
-       const std::function<void(unsigned)> &onAttempt)
+runJob(const ExperimentSpec &spec, const JobControl &ctl)
 {
     JobOutcome out;
     out.spec = spec;
-    if (maxAttempts == 0)
-        maxAttempts = 1;
+    const unsigned maxAttempts = ctl.maxAttempts ? ctl.maxAttempts : 1;
 
     for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
         out.attempts = attempt;
-        if (onAttempt)
-            onAttempt(attempt);
+        if (attempt > 1) {
+            // Bounded exponential backoff before each retry; an
+            // immediate re-attempt just re-hits whatever transient
+            // host condition (OOM pressure, fd exhaustion) failed the
+            // last one.
+            const unsigned delay = backoffDelayMs(
+                ctl.backoffBaseMs, ctl.backoffCapMs, attempt - 1);
+            if (delay)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        }
+        // onAttempt fires after the backoff sleep so the watchdog
+        // deadline measures simulation time, not backoff time.
+        if (ctl.onAttempt)
+            ctl.onAttempt(attempt);
+        if (ctl.cancel)
+            ctl.cancel->store(false, std::memory_order_relaxed);
+        out.timedOut = false;
         const auto start = std::chrono::steady_clock::now();
         try {
+            fault::maybeInject(ctl.index, ctl.cancel);
             model::SystemConfig cfg = spec.toSystemConfig();
-            if (tweak)
-                tweak(cfg);
+            if (ctl.tweak)
+                ctl.tweak(cfg);
             model::System sys(cfg);
+            sys.setCancelFlag(ctl.cancel);
             std::shared_ptr<workload::trace::TraceCaptureWriter>
                 capture;
             auto workloads = spec.buildWorkloads(&capture);
@@ -84,6 +122,14 @@ runJob(const ExperimentSpec &spec, unsigned maxAttempts,
             out.error.clear();
             out.wallMs = msSince(start);
             return out;
+        } catch (const SimCancelled &) {
+            // Watchdog deadline. Retried like any failure (a deadline
+            // miss can be host pressure, not just a real hang); the
+            // per-attempt cancel-flag reset above re-arms the clock.
+            out.ok = false;
+            out.timedOut = true;
+            out.error = "timeout";
+            out.wallMs = msSince(start);
         } catch (const std::exception &e) {
             out.ok = false;
             out.error = e.what();
@@ -95,6 +141,18 @@ runJob(const ExperimentSpec &spec, unsigned maxAttempts,
         }
     }
     return out;
+}
+
+JobOutcome
+runJob(const ExperimentSpec &spec, unsigned maxAttempts,
+       const std::function<void(model::SystemConfig &)> &tweak,
+       const std::function<void(unsigned)> &onAttempt)
+{
+    JobControl ctl;
+    ctl.maxAttempts = maxAttempts;
+    ctl.tweak = tweak;
+    ctl.onAttempt = onAttempt;
+    return runJob(spec, ctl);
 }
 
 // ---------------------------------------------------------------------
@@ -229,7 +287,55 @@ SweepRunner::run(const Sweep &sweep)
     std::vector<unsigned> jobWorker(total, 0);
     std::vector<std::uint64_t> jobRssKb(total, 0);
 
+    // Watchdog bookkeeping. attemptStartMs holds msSince(start)+1 for
+    // the running attempt (0 = no attempt in flight, so the epoch
+    // itself can never read as idle); cancelFlags is the cooperative
+    // cancel handshake with model::System; childPids names the live
+    // sandbox child (if any) so an over-deadline job can be SIGKILLed.
+    std::vector<std::atomic<std::uint64_t>> attemptStartMs(total);
+    std::vector<std::atomic<bool>> cancelFlags(total);
+    std::vector<std::atomic<int>> childPids(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        attemptStartMs[i].store(0);
+        cancelFlags[i].store(false);
+        childPids[i].store(0);
+    }
+
     const auto start = std::chrono::steady_clock::now();
+
+    std::atomic<bool> stopWatchdog{false};
+    std::thread watchdog;
+    if (_opts.jobTimeoutMs > 0) {
+        watchdog = std::thread([&] {
+            const std::uint64_t limit = _opts.jobTimeoutMs;
+            while (!stopWatchdog.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(25));
+                const std::uint64_t now =
+                    static_cast<std::uint64_t>(msSince(start)) + 1;
+                for (std::size_t i = 0; i < total; ++i) {
+                    const std::uint64_t began =
+                        attemptStartMs[i].load(
+                            std::memory_order_relaxed);
+                    if (began == 0 || now < began ||
+                        now - began <= limit)
+                        continue;
+                    // Re-read before firing: if the worker moved on to
+                    // a new attempt between the check and the store,
+                    // cancelling now would shoot the fresh attempt.
+                    if (attemptStartMs[i].load(
+                            std::memory_order_relaxed) != began)
+                        continue;
+                    cancelFlags[i].store(true,
+                                         std::memory_order_relaxed);
+                    const int pid =
+                        childPids[i].load(std::memory_order_relaxed);
+                    if (pid > 0)
+                        ::kill(static_cast<pid_t>(pid), SIGKILL);
+                }
+            }
+        });
+    }
 
     // The monitor only reads atomics and /proc: it cannot touch any
     // simulation state, so determinism is unaffected.
@@ -240,9 +346,13 @@ SweepRunner::run(const Sweep &sweep)
             while (!stopMonitor.load(std::memory_order_relaxed)) {
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     _opts.liveIntervalMs));
-                std::size_t counts[5] = {};
+                std::size_t counts[kJobStateCount] = {};
                 for (const auto &s : states)
                     ++counts[s.load(std::memory_order_relaxed)];
+                // A sandbox child doing useful work is "running" as
+                // far as a human watching progress is concerned.
+                counts[static_cast<unsigned>(JobState::Running)] +=
+                    counts[static_cast<unsigned>(JobState::Isolated)];
                 const double elapsed = msSince(start);
                 const double evPerSec =
                     elapsed > 0.0 ? static_cast<double>(
@@ -276,13 +386,14 @@ SweepRunner::run(const Sweep &sweep)
                 std::fprintf(
                     stderr,
                     "  -- %zu queued, %zu running, %zu retrying, "
-                    "%zu done, %zu failed | %.1f s | %.2f Mev/s | "
-                    "RSS %.1f MB (peak %.1f MB)%s\n",
+                    "%zu done, %zu failed, %zu timed-out | %.1f s | "
+                    "%.2f Mev/s | RSS %.1f MB (peak %.1f MB)%s\n",
                     counts[static_cast<unsigned>(JobState::Queued)],
                     counts[static_cast<unsigned>(JobState::Running)],
                     counts[static_cast<unsigned>(JobState::Retrying)],
                     counts[static_cast<unsigned>(JobState::Done)],
                     counts[static_cast<unsigned>(JobState::Failed)],
+                    counts[static_cast<unsigned>(JobState::TimedOut)],
                     elapsed / 1e3, evPerSec / 1e6,
                     static_cast<double>(currentRssKb()) / 1024.0,
                     static_cast<double>(peakRssKb()) / 1024.0,
@@ -298,7 +409,10 @@ SweepRunner::run(const Sweep &sweep)
         state.store(static_cast<unsigned char>(JobState::Running),
                     std::memory_order_relaxed);
 
-        const bool tracing = index == traceIndex;
+        // Tracing records in-process simulation events, which a
+        // sandbox child cannot deliver back; --isolate sweeps run
+        // untraced (persim_sweep refuses the combination up front).
+        const bool tracing = !_opts.isolate && index == traceIndex;
         if (tracing)
             trace::attachRecorder(_recorder.get());
 
@@ -314,14 +428,70 @@ SweepRunner::run(const Sweep &sweep)
             counters->start();
         }
 
-        JobOutcome outcome =
-            runJob(spec, _opts.maxAttempts, {}, [&](unsigned attempt) {
+        const unsigned maxAttempts =
+            _opts.maxAttempts ? _opts.maxAttempts : 1;
+        JobOutcome outcome;
+        if (_opts.isolate) {
+            // Sandboxed: the child runs exactly one attempt; retry,
+            // backoff, and the deadline clock stay in the parent where
+            // they survive any way the child can die.
+            for (unsigned attempt = 1; attempt <= maxAttempts;
+                 ++attempt) {
                 if (attempt > 1) {
                     state.store(static_cast<unsigned char>(
                                     JobState::Retrying),
                                 std::memory_order_relaxed);
+                    const unsigned delay = backoffDelayMs(
+                        _opts.retryBackoffMs, _opts.retryBackoffCapMs,
+                        attempt - 1);
+                    if (delay)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(delay));
                 }
-            });
+                cancelFlags[index].store(false,
+                                         std::memory_order_relaxed);
+                attemptStartMs[index].store(
+                    static_cast<std::uint64_t>(msSince(start)) + 1,
+                    std::memory_order_relaxed);
+                state.store(static_cast<unsigned char>(
+                                JobState::Isolated),
+                            std::memory_order_relaxed);
+                SandboxResult sr = runJobSandboxed(spec, index,
+                                                   &childPids[index]);
+                attemptStartMs[index].store(
+                    0, std::memory_order_relaxed);
+                outcome = std::move(sr.outcome);
+                outcome.attempts = attempt;
+                if (!outcome.ok &&
+                    cancelFlags[index].load(
+                        std::memory_order_relaxed)) {
+                    // The watchdog armed this kill; report it as a
+                    // timeout, not as an anonymous SIGKILL.
+                    outcome.timedOut = true;
+                    outcome.error = "timeout";
+                }
+                if (outcome.ok)
+                    break;
+            }
+        } else {
+            JobControl ctl;
+            ctl.maxAttempts = maxAttempts;
+            ctl.backoffBaseMs = _opts.retryBackoffMs;
+            ctl.backoffCapMs = _opts.retryBackoffCapMs;
+            ctl.index = index;
+            ctl.cancel = &cancelFlags[index];
+            ctl.onAttempt = [&](unsigned attempt) {
+                if (attempt > 1)
+                    state.store(static_cast<unsigned char>(
+                                    JobState::Retrying),
+                                std::memory_order_relaxed);
+                attemptStartMs[index].store(
+                    static_cast<std::uint64_t>(msSince(start)) + 1,
+                    std::memory_order_relaxed);
+            };
+            outcome = runJob(spec, ctl);
+            attemptStartMs[index].store(0, std::memory_order_relaxed);
+        }
 
         if (profOn) {
             jobCounters[index] = counters->stop();
@@ -332,9 +502,16 @@ SweepRunner::run(const Sweep &sweep)
             trace::detachRecorder();
 
         outcome.index = index;
-        state.store(static_cast<unsigned char>(
-                        outcome.ok ? JobState::Done : JobState::Failed),
-                    std::memory_order_relaxed);
+        state.store(
+            static_cast<unsigned char>(
+                outcome.ok ? JobState::Done
+                           : (outcome.timedOut ? JobState::TimedOut
+                                               : JobState::Failed)),
+            std::memory_order_relaxed);
+        // Journal the cell before announcing it done: once a line is
+        // fsync'd, a crash anywhere later cannot lose this result.
+        if (_opts.journal && outcome.ok)
+            _opts.journal->append(outcome);
         jobWorker[index] = worker;
         jobRssKb[index] = currentRssKb();
         doneEvents.fetch_add(outcome.result.events,
@@ -359,6 +536,10 @@ SweepRunner::run(const Sweep &sweep)
         }
         outcomes[index] = std::move(outcome);
     });
+    if (watchdog.joinable()) {
+        stopWatchdog.store(true);
+        watchdog.join();
+    }
     if (monitor.joinable()) {
         stopMonitor.store(true);
         monitor.join();
@@ -379,7 +560,12 @@ SweepRunner::run(const Sweep &sweep)
         const JobOutcome &o = outcomes[i];
         JobTelemetry jt;
         jt.id = o.spec.id();
-        jt.state = o.ok ? JobState::Done : JobState::Failed;
+        jt.state = o.ok ? JobState::Done
+                        : (o.timedOut ? JobState::TimedOut
+                                      : JobState::Failed);
+        jt.isolated = _opts.isolate;
+        jt.exitCode = o.exitCode;
+        jt.termSignal = o.termSignal;
         jt.attempts = o.attempts;
         jt.worker = jobWorker[i];
         jt.wallMs = o.wallMs;

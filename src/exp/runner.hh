@@ -16,17 +16,36 @@
  * what keeps all cores busy until the tail.
  *
  * Jobs are isolated: an exception inside one job (bad config, panic,
- * bug) is caught, retried up to maxAttempts times, and recorded as a
- * failed outcome; it never takes down the sweep.
+ * bug) is caught, retried up to maxAttempts times with bounded
+ * exponential backoff, and recorded as a failed outcome; it never
+ * takes down the sweep. Two optional layers harden that guarantee
+ * against faults exceptions cannot catch:
+ *
+ *   - Watchdog (RunnerOptions::jobTimeoutMs): a monitor thread tracks
+ *     every attempt's deadline and flips a per-job cancel flag that
+ *     System::run polls, so a runaway cell becomes a failed outcome
+ *     (error "timeout") instead of a stuck sweep.
+ *   - Sandbox isolation (RunnerOptions::isolate): each job forks into
+ *     a child that streams its JobOutcome JSON back over a pipe, so a
+ *     segfault/abort/OOM kills one cell (exit status and signal name
+ *     recorded) instead of the whole process. The watchdog SIGKILLs
+ *     over-deadline children.
+ *
+ * With RunnerOptions::journal set, every completed cell is appended
+ * to a crash-safe journal (one fsync'd JSON line per job) so an
+ * interrupted sweep can resume without re-running finished cells
+ * (exp/journal.hh, persim_sweep --resume).
  */
 
 #ifndef PERSIM_EXP_RUNNER_HH
 #define PERSIM_EXP_RUNNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -40,6 +59,8 @@
 
 namespace persim::exp
 {
+
+class SweepJournal;
 
 /** Result of running one ExperimentSpec (successfully or not). */
 struct JobOutcome
@@ -55,6 +76,23 @@ struct JobOutcome
 
     /** Exception text of the last failed attempt (failed jobs only). */
     std::string error;
+
+    /**
+     * The last attempt was cancelled by the watchdog (error is
+     * "timeout"). Never serialized on its own — the error string is
+     * the deterministic record; this flag feeds telemetry's TimedOut
+     * state.
+     */
+    bool timedOut = false;
+
+    /**
+     * Sandbox child's exit status (isolated jobs that exited; -1
+     * otherwise) and terminating signal name ("SIGSEGV", "" = none).
+     * Serialized only for failed jobs, so a green isolated sweep is
+     * byte-identical to an in-process one.
+     */
+    int exitCode = -1;
+    std::string termSignal;
 
     model::SimResult result;
     std::map<std::string, double> stats;
@@ -72,8 +110,49 @@ struct JobOutcome
     JsonValue toJson(bool includeStats = true) const;
 };
 
+/** Per-job execution controls for runJob (all optional). */
+struct JobControl
+{
+    /** Attempts (>= 1; retries happen only after exceptions/timeouts). */
+    unsigned maxAttempts = 1;
+
+    /**
+     * Backoff before retry k (k >= 1 retries already happened):
+     * min(backoffBaseMs << (k - 1), backoffCapMs) milliseconds.
+     * 0 disables the sleep (the historical immediate re-attempt).
+     */
+    unsigned backoffBaseMs = 100;
+    unsigned backoffCapMs = 5000;
+
+    /**
+     * Grid index of this job, used by the PERSIM_FAULT injection hook
+     * (exp/fault.hh). SIZE_MAX (default) never matches an injection.
+     */
+    std::size_t index = SIZE_MAX;
+
+    /**
+     * Watchdog flag: runJob clears it at the start of every attempt
+     * and hands it to System::run, which throws SimCancelled once a
+     * monitor sets it; the attempt is then recorded as "timeout".
+     */
+    std::atomic<bool> *cancel = nullptr;
+
+    /** Config hook applied after the spec's own SystemConfig is built. */
+    std::function<void(model::SystemConfig &)> tweak;
+
+    /**
+     * Observer called at the start of every attempt (1-based), after
+     * any backoff sleep — so watchdog deadlines restarted here do not
+     * count the backoff against the job.
+     */
+    std::function<void(unsigned)> onAttempt;
+};
+
+/** Run one job synchronously on the calling thread. */
+JobOutcome runJob(const ExperimentSpec &spec, const JobControl &ctl);
+
 /**
- * Run one job synchronously on the calling thread.
+ * Legacy convenience overload (tests, ablation benches).
  *
  * @param tweak Optional config hook applied after the spec's own
  *              SystemConfig is built (ablation benches use this).
@@ -137,6 +216,43 @@ struct RunnerOptions
 
     /** Attempts per job (>= 1; retries happen only after exceptions). */
     unsigned maxAttempts = 2;
+
+    /**
+     * Bounded exponential backoff between attempts: retry k sleeps
+     * min(retryBackoffMs << (k - 1), retryBackoffCapMs) ms. 0 restores
+     * the historical immediate re-attempt.
+     */
+    unsigned retryBackoffMs = 100;
+    unsigned retryBackoffCapMs = 5000;
+
+    /**
+     * Per-job wall-clock deadline in milliseconds, enforced per
+     * attempt by a monitor thread; 0 disables the watchdog. A
+     * timed-out attempt is recorded exactly like a thrown exception
+     * (error "timeout", telemetry state "timed-out") and retried up
+     * to maxAttempts. In-process enforcement is cooperative
+     * (System::run polls between events); with isolate the child is
+     * SIGKILLed, which also contains hangs inside a single event.
+     */
+    unsigned jobTimeoutMs = 0;
+
+    /**
+     * Fork every job into a sandbox child process (exp/sandbox.hh).
+     * A crash (segfault, abort, OOM kill) becomes one failed cell
+     * with the exit status / signal name in its outcome instead of a
+     * dead sweep. Successful cells produce byte-identical sweep JSON
+     * either way. Per-job tracing and profiling counters do not cross
+     * the fork, so --trace/--prof readouts cover only the parent.
+     */
+    bool isolate = false;
+
+    /**
+     * When set, every completed (ok) job is appended to this journal
+     * as one fsync'd JSON line, enabling crash-safe resume
+     * (exp/journal.hh). The runner only appends; opening, validating
+     * and finalizing the journal is the caller's business.
+     */
+    std::shared_ptr<SweepJournal> journal;
 
     /** Print "[done/total] id status" lines to stderr as jobs finish. */
     bool progress = true;

@@ -120,6 +120,10 @@ jobStateName(JobState s)
         return "done";
       case JobState::Failed:
         return "failed";
+      case JobState::TimedOut:
+        return "timed-out";
+      case JobState::Isolated:
+        return "isolated";
     }
     return "unknown";
 }
@@ -135,6 +139,13 @@ JobTelemetry::toJson() const
     out["wallMs"] = JsonValue(wallMs);
     out["events"] = JsonValue(events);
     out["rssAfterKb"] = JsonValue(rssAfterKb);
+    if (isolated) {
+        out["isolated"] = JsonValue(true);
+        if (exitCode >= 0)
+            out["exitCode"] = JsonValue(exitCode);
+        if (!termSignal.empty())
+            out["signal"] = JsonValue(termSignal);
+    }
     if (profiled) {
         JsonValue p = JsonValue::object();
         p["samples"] = JsonValue(profPhases.total());
@@ -159,7 +170,19 @@ SweepTelemetry::failedJobs() const
 {
     std::size_t n = 0;
     for (const JobTelemetry &j : jobs)
-        n += j.state == JobState::Failed ? 1 : 0;
+        n += (j.state == JobState::Failed ||
+              j.state == JobState::TimedOut)
+                 ? 1
+                 : 0;
+    return n;
+}
+
+std::size_t
+SweepTelemetry::timedOutJobs() const
+{
+    std::size_t n = 0;
+    for (const JobTelemetry &j : jobs)
+        n += j.state == JobState::TimedOut ? 1 : 0;
     return n;
 }
 
@@ -194,6 +217,7 @@ SweepTelemetry::toJson() const
     out["totalEvents"] = JsonValue(totalEvents());
     out["eventsPerSec"] = JsonValue(eventsPerSec());
     out["failed"] = JsonValue(failedJobs());
+    out["timedOut"] = JsonValue(timedOutJobs());
     out["retried"] = JsonValue(retriedJobs());
     if (profiled) {
         JsonValue p = JsonValue::object();
@@ -216,10 +240,12 @@ SweepTelemetry::summaryLine() const
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "%s: %zu jobs (%zu failed, %zu retried) in %.1f s, "
+                  "%s: %zu jobs (%zu failed, %zu timed out, "
+                  "%zu retried) in %.1f s, "
                   "%.2f Mevents/s, peak RSS %.1f MB",
                   sweep.c_str(), jobs.size(), failedJobs(),
-                  retriedJobs(), wallMs / 1e3, eventsPerSec() / 1e6,
+                  timedOutJobs(), retriedJobs(), wallMs / 1e3,
+                  eventsPerSec() / 1e6,
                   static_cast<double>(peakRssKb) / 1024.0);
     return buf;
 }

@@ -67,7 +67,14 @@ enum class JobState : unsigned char
     Retrying,
     Done,
     Failed,
+    /** Final attempt cancelled by the per-job watchdog. */
+    TimedOut,
+    /** Currently running inside a sandbox child (--isolate). */
+    Isolated,
 };
+
+/** Number of JobState values (size of per-state count arrays). */
+inline constexpr std::size_t kJobStateCount = 7;
 
 const char *jobStateName(JobState s);
 
@@ -84,6 +91,13 @@ struct JobTelemetry
     std::uint64_t events = 0;
     /** Process RSS right after the job finished, kB. */
     std::uint64_t rssAfterKb = 0;
+
+    /** The job ran in a sandbox child (--isolate). */
+    bool isolated = false;
+
+    /** Sandbox child's exit status (-1 = n/a) and fatal signal (""). */
+    int exitCode = -1;
+    std::string termSignal;
 
     /** Host-time profile of this job (profiled sweeps only). */
     bool profiled = false;
@@ -116,6 +130,8 @@ struct SweepTelemetry
     std::uint64_t totalEvents() const;
     std::size_t failedJobs() const;
     std::size_t retriedJobs() const;
+    /** Jobs whose final attempt was cancelled by the watchdog. */
+    std::size_t timedOutJobs() const;
 
     /** Simulated events per wall-clock second; 0 when wallMs is 0. */
     double eventsPerSec() const;

@@ -1,6 +1,7 @@
 #include "model/system.hh"
 
 #include <bit>
+#include <string>
 #include <utility>
 
 #include "prof/phase.hh"
@@ -148,10 +149,21 @@ System::run()
         core->start();
     }
 
+    // The watchdog poll is amortized to one relaxed load every 8192
+    // events — far below the noise floor of the dispatch loop, and
+    // the cadence (tens of microseconds of host time) is much finer
+    // than any realistic RunnerOptions::jobTimeoutMs deadline.
+    auto cancelled = [this](std::uint64_t events) {
+        return (events & 8191u) == 0 && _cancel &&
+               _cancel->load(std::memory_order_relaxed);
+    };
     std::uint64_t events = 0;
     if (_sampler) {
         while (!_eq.empty() && events < _cfg.maxEvents &&
                _eq.now() <= _cfg.maxTicks) {
+            if (cancelled(events))
+                throw SimCancelled("cancelled by watchdog at tick " +
+                                   std::to_string(_eq.now()));
             _eq.runNext();
             ++events;
             if (_eq.now() >= _sampler->nextDue())
@@ -161,6 +173,9 @@ System::run()
     } else {
         while (!_eq.empty() && events < _cfg.maxEvents &&
                _eq.now() <= _cfg.maxTicks) {
+            if (cancelled(events))
+                throw SimCancelled("cancelled by watchdog at tick " +
+                                   std::to_string(_eq.now()));
             _eq.runNext();
             ++events;
         }

@@ -18,6 +18,7 @@
 #ifndef PERSIM_MODEL_SYSTEM_HH
 #define PERSIM_MODEL_SYSTEM_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -96,6 +97,17 @@ class System
     /** Build the cores, run to completion, drain, and check. */
     SimResult run();
 
+    /**
+     * Host-side cancellation: run() polls @p flag every few thousand
+     * events and throws SimCancelled once it reads true. The check is
+     * observability in reverse — it reads host state but can only
+     * abort the run, never reorder events, so a run that is not
+     * cancelled is bit-for-bit identical with or without a flag.
+     * nullptr (the default) disables the poll. The flag must outlive
+     * run().
+     */
+    void setCancelFlag(const std::atomic<bool> *flag) { _cancel = flag; }
+
     const SystemConfig &config() const { return _cfg; }
     EventQueue &eventQueue() { return _eq; }
     noc::Mesh &mesh() { return *_mesh; }
@@ -136,6 +148,8 @@ class System
     std::vector<std::unique_ptr<cpu::Core>> _cores;
     /** Present only while tracing with a counter window (see run()). */
     std::unique_ptr<IntervalSampler> _sampler;
+    /** Watchdog flag polled by run(); see setCancelFlag(). */
+    const std::atomic<bool> *_cancel = nullptr;
     bool _ran = false;
 };
 

@@ -37,6 +37,21 @@ class SimFatal : public std::runtime_error
     explicit SimFatal(const std::string &what) : std::runtime_error(what) {}
 };
 
+/**
+ * Thrown when a host-side watchdog cancels a running simulation
+ * (System::run polls an external flag; see System::setCancelFlag).
+ * Distinct from SimFatal so the sweep runner can record the job as
+ * timed out rather than misconfigured.
+ */
+class SimCancelled : public std::runtime_error
+{
+  public:
+    explicit SimCancelled(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 namespace detail
 {
 

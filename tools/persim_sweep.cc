@@ -17,15 +17,21 @@
  */
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <unordered_set>
 
 #include "exp/figures.hh"
+#include "exp/journal.hh"
 #include "exp/runner.hh"
 #include "exp/spec.hh"
 #include "exp/trace_export.hh"
@@ -37,6 +43,40 @@ using namespace persim;
 
 namespace
 {
+
+/**
+ * Strict decimal parse for flag values: the whole string must be a
+ * non-negative integer. atoi-style coercion ("11x" -> 11, "abc" -> 0)
+ * silently runs the wrong experiment; a named error is the only
+ * acceptable outcome for a malformed value.
+ */
+std::uint64_t
+parseNum(const char *flag, const std::string &v)
+{
+    std::uint64_t out = 0;
+    const char *begin = v.c_str();
+    const char *end = begin + v.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (v.empty() || ec != std::errc() || ptr != end) {
+        std::fprintf(stderr,
+                     "%s wants a non-negative integer, got '%s'\n",
+                     flag, v.c_str());
+        std::exit(2);
+    }
+    return out;
+}
+
+unsigned
+parseNumU32(const char *flag, const std::string &v)
+{
+    const std::uint64_t n = parseNum(flag, v);
+    if (n > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr, "%s value '%s' is out of range\n", flag,
+                     v.c_str());
+        std::exit(2);
+    }
+    return static_cast<unsigned>(n);
+}
 
 void
 usage(const char *argv0)
@@ -66,9 +106,29 @@ usage(const char *argv0)
         "                    (the paths --capture-dir writes)\n"
         "  --pinned-retry N  LLC pinned-victim retry backoff in cycles\n"
         "                    (default 8; applied to every job)\n"
-        "  --retries N       extra attempts per failed job (default 1)\n"
+        "  --retries N       extra attempts per failed job (default 1);\n"
+        "                    retries back off exponentially (100 ms "
+        "base,\n"
+        "                    5 s cap)\n"
+        "  --job-timeout-ms N  per-job watchdog deadline per attempt;\n"
+        "                    over-deadline jobs fail with error "
+        "'timeout'\n"
+        "                    (0 = no watchdog, the default)\n"
+        "  --isolate         fork every job into a sandbox child so a\n"
+        "                    segfault/abort/OOM kills one cell, not the\n"
+        "                    sweep (incompatible with --trace)\n"
+        "  --resume          resume an interrupted run from "
+        "<out>.journal:\n"
+        "                    journaled cells are merged, only the rest "
+        "run;\n"
+        "                    output is byte-identical to an "
+        "uninterrupted\n"
+        "                    run (needs --out; refuses a changed grid)\n"
         "  --out FILE        write the sweep JSON (default: stdout "
-        "summary only)\n"
+        "summary only);\n"
+        "                    completed cells are journaled to "
+        "FILE.journal\n"
+        "                    until the final atomic rename\n"
         "  --csv FILE        write the figure table as CSV\n"
         "  --no-stats        omit per-job stat trees from the JSON\n"
         "  --only PATTERN    run only jobs whose id contains PATTERN\n"
@@ -125,6 +185,9 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     unsigned numSeeds = 1;
     unsigned retries = 1;
+    unsigned jobTimeoutMs = 0;
+    bool isolate = false;
+    bool resume = false;
     std::string outFile;
     std::string csvFile;
     std::string timingFile;
@@ -169,26 +232,30 @@ main(int argc, char **argv)
         else if (arg == "--replay-dir")
             replayDir = value("--replay-dir");
         else if (arg == "--figure")
-            figure = std::atoi(value("--figure").c_str());
+            figure = static_cast<int>(
+                parseNumU32("--figure", value("--figure")));
         else if (arg == "--jobs")
-            jobs = static_cast<unsigned>(
-                std::strtoul(value("--jobs").c_str(), nullptr, 10));
+            jobs = parseNumU32("--jobs", value("--jobs"));
         else if (arg == "--ops")
-            ops = std::strtoull(value("--ops").c_str(), nullptr, 10);
+            ops = parseNum("--ops", value("--ops"));
         else if (arg == "--cores")
-            cores = static_cast<unsigned>(
-                std::strtoul(value("--cores").c_str(), nullptr, 10));
+            cores = parseNumU32("--cores", value("--cores"));
         else if (arg == "--seed")
-            seed = std::strtoull(value("--seed").c_str(), nullptr, 10);
+            seed = parseNum("--seed", value("--seed"));
         else if (arg == "--seeds")
-            numSeeds = static_cast<unsigned>(
-                std::strtoul(value("--seeds").c_str(), nullptr, 10));
+            numSeeds = parseNumU32("--seeds", value("--seeds"));
         else if (arg == "--pinned-retry")
-            pinnedRetry = std::strtoull(value("--pinned-retry").c_str(),
-                                        nullptr, 10);
+            pinnedRetry =
+                parseNum("--pinned-retry", value("--pinned-retry"));
         else if (arg == "--retries")
-            retries = static_cast<unsigned>(
-                std::strtoul(value("--retries").c_str(), nullptr, 10));
+            retries = parseNumU32("--retries", value("--retries"));
+        else if (arg == "--job-timeout-ms")
+            jobTimeoutMs = parseNumU32("--job-timeout-ms",
+                                       value("--job-timeout-ms"));
+        else if (arg == "--isolate")
+            isolate = true;
+        else if (arg == "--resume")
+            resume = true;
         else if (arg == "--out")
             outFile = value("--out");
         else if (arg == "--csv")
@@ -219,13 +286,11 @@ main(int argc, char **argv)
             profFile = value("--prof-out");
             profEnabled = true;
         } else if (arg == "--prof-hz")
-            profHz = static_cast<unsigned>(
-                std::strtoul(value("--prof-hz").c_str(), nullptr, 10));
+            profHz = parseNumU32("--prof-hz", value("--prof-hz"));
         else if (arg == "--telemetry-out")
             telemetryFile = value("--telemetry-out");
         else if (arg == "--interval") {
-            intervalTicks = std::strtoull(value("--interval").c_str(),
-                                          nullptr, 10);
+            intervalTicks = parseNum("--interval", value("--interval"));
             intervalSet = true;
         } else if (arg == "--interval-csv")
             intervalCsvFile = value("--interval-csv");
@@ -263,6 +328,19 @@ main(int argc, char **argv)
     if (workloadFilter == "trace" && replayTraceFile.empty()) {
         std::fprintf(stderr,
                      "--workload trace needs --trace-file FILE\n");
+        return 2;
+    }
+    if (isolate && !traceFile.empty()) {
+        // Trace events live in the child's memory and the sandbox pipe
+        // carries only the outcome document, so this combination would
+        // silently write an empty trace.
+        std::fprintf(stderr, "--isolate cannot record --trace "
+                             "(simulation runs in a child process)\n");
+        return 2;
+    }
+    if (resume && outFile.empty()) {
+        std::fprintf(stderr, "--resume needs --out FILE (the journal "
+                             "lives at FILE.journal)\n");
         return 2;
     }
 
@@ -339,8 +417,15 @@ main(int argc, char **argv)
                          shardIndex, shardCount, sweep.jobs.size(),
                          before);
             if (sweep.jobs.empty()) {
-                std::fprintf(stderr, "shard %u/%u is empty\n",
-                             shardIndex, shardCount);
+                // A 0-job document would merge cleanly and silently
+                // shrink the figure; refuse loudly instead so merge
+                // scripts can't drop a shard without noticing.
+                std::fprintf(stderr,
+                             "error: shard %u/%u of %s is empty (grid "
+                             "has fewer than %u jobs after filters); "
+                             "no output written\n",
+                             shardIndex, shardCount,
+                             sweep.name.c_str(), shardCount);
                 return 2;
             }
         }
@@ -373,6 +458,8 @@ main(int argc, char **argv)
         exp::RunnerOptions opts;
         opts.jobs = jobs;
         opts.maxAttempts = 1 + retries;
+        opts.jobTimeoutMs = jobTimeoutMs;
+        opts.isolate = isolate;
         opts.progress = !quiet;
         opts.liveProgress = liveProgress;
         opts.prof = profEnabled;
@@ -397,10 +484,97 @@ main(int argc, char **argv)
                          "--interval has no effect without --trace\n");
         }
 
+        // Crash-safe journal: every completed cell becomes durable in
+        // <out>.journal the moment it finishes; --resume merges those
+        // cells back instead of re-running them. The header pins the
+        // journal to this exact grid so a changed axis (ops, cores,
+        // filters) is refused rather than silently mixed.
+        //
+        // "--out /dev/null" (and any other non-regular target) gets
+        // neither journal nor atomic rename: renaming over a device
+        // node would replace it with a regular file.
+        const std::string journalPath = outFile + ".journal";
+        std::error_code outStatEc;
+        const auto outStat =
+            std::filesystem::status(outFile, outStatEc);
+        const bool specialOut =
+            !outFile.empty() && !outStatEc &&
+            std::filesystem::exists(outStat) &&
+            !std::filesystem::is_regular_file(outStat);
+        if (resume && specialOut) {
+            std::fprintf(stderr,
+                         "error: --resume needs a regular --out file, "
+                         "got %s\n",
+                         outFile.c_str());
+            return 2;
+        }
+        exp::JournalHeader header;
+        header.sweep = sweep.name;
+        header.jobCount = sweep.jobs.size();
+        header.gridHash = exp::gridFingerprint(sweep.jobs);
+
+        std::vector<std::pair<std::string, exp::JsonValue>> journaled;
+        exp::Sweep runSweep = sweep;
+        if (resume) {
+            exp::JournalContents jc = exp::loadJournal(journalPath);
+            if (!jc.exists) {
+                std::fprintf(stderr,
+                             "error: --resume: no journal at %s "
+                             "(nothing to resume)\n",
+                             journalPath.c_str());
+                return 2;
+            }
+            if (!jc.headerOk || !jc.header.matches(header)) {
+                std::fprintf(
+                    stderr,
+                    "error: --resume: journal %s does not match this "
+                    "grid (journal: sweep '%s', %zu jobs, grid %016llx; "
+                    "current: sweep '%s', %zu jobs, grid %016llx); "
+                    "rerun without --resume to start over\n",
+                    journalPath.c_str(), jc.header.sweep.c_str(),
+                    jc.header.jobCount,
+                    static_cast<unsigned long long>(jc.header.gridHash),
+                    sweep.name.c_str(), sweep.jobs.size(),
+                    static_cast<unsigned long long>(header.gridHash));
+                return 2;
+            }
+            if (jc.dropped > 0)
+                std::fprintf(stderr,
+                             "warning: dropped %zu torn journal "
+                             "line(s) (crash mid-append)\n",
+                             jc.dropped);
+            if (jc.duplicates > 0)
+                std::fprintf(stderr,
+                             "warning: %zu duplicate journal entries "
+                             "(latest wins)\n",
+                             jc.duplicates);
+            journaled = std::move(jc.entries);
+            std::unordered_set<std::string> doneIds;
+            for (const auto &e : journaled)
+                doneIds.insert(e.first);
+            std::erase_if(runSweep.jobs, [&](const auto &spec) {
+                return doneIds.count(spec.id()) != 0;
+            });
+            std::fprintf(stderr,
+                         "resume: %zu of %zu cells journaled, "
+                         "running %zu\n",
+                         doneIds.size(), sweep.jobs.size(),
+                         runSweep.jobs.size());
+        }
+        std::shared_ptr<exp::SweepJournal> journal;
+        if (!outFile.empty() && !specialOut) {
+            journal = std::make_shared<exp::SweepJournal>();
+            journal->open(journalPath, header, /*fresh=*/!resume);
+            opts.journal = journal;
+        }
+
         std::fprintf(stderr, "%s: %zu jobs, %u worker(s)\n",
-                     sweep.name.c_str(), sweep.jobs.size(), jobs);
+                     sweep.name.c_str(), runSweep.jobs.size(), jobs);
         exp::SweepRunner runner(opts);
-        std::vector<exp::JobOutcome> outcomes = runner.run(sweep);
+        std::vector<exp::JobOutcome> outcomes = runner.run(runSweep);
+        if (resume)
+            outcomes = exp::mergeResumedOutcomes(sweep, journaled,
+                                                 std::move(outcomes));
 
         std::size_t failed = 0;
         for (const auto &o : outcomes)
@@ -422,12 +596,35 @@ main(int argc, char **argv)
         doc["table"] = exp::figureTableToJson(table);
 
         if (!outFile.empty()) {
-            std::ofstream os(outFile);
-            if (!os)
-                fatal("cannot write ", outFile);
-            doc.write(os, 2);
-            os << '\n';
+            if (specialOut) {
+                std::ofstream os(outFile);
+                if (!os)
+                    fatal("cannot write ", outFile);
+                doc.write(os, 2);
+                os << '\n';
+            } else {
+                // tmp + fsync + rename: observers see the old document
+                // or the complete new one, never a torn write.
+                std::ostringstream buf;
+                doc.write(buf, 2);
+                buf << '\n';
+                exp::writeFileAtomic(outFile, buf.str());
+            }
             std::fprintf(stderr, "wrote %s\n", outFile.c_str());
+        }
+        if (journal) {
+            journal->close();
+            if (failed == 0) {
+                std::error_code ec;
+                std::filesystem::remove(journalPath, ec);
+            } else {
+                // Failed cells are not journaled, so a --resume rerun
+                // retries exactly them.
+                std::fprintf(stderr,
+                             "%zu failed cell(s); journal kept at %s "
+                             "for --resume\n",
+                             failed, journalPath.c_str());
+            }
         }
         if (!csvFile.empty()) {
             std::ofstream os(csvFile);
@@ -440,9 +637,10 @@ main(int argc, char **argv)
             std::ofstream os(traceFile);
             if (!os)
                 fatal("cannot write ", traceFile);
-            std::string traced = traceJob.empty() && !sweep.jobs.empty()
-                                     ? sweep.jobs.front().id()
-                                     : traceJob;
+            std::string traced =
+                traceJob.empty() && !runSweep.jobs.empty()
+                    ? runSweep.jobs.front().id()
+                    : traceJob;
             exp::writeChromeTrace(os, *runner.recorder(),
                                   sweep.name + "/" + traced);
             std::fprintf(stderr,
